@@ -1,0 +1,228 @@
+package tetrium
+
+// This file provides one testing.B benchmark per table and figure of the
+// paper's evaluation (§6). Each benchmark regenerates its experiment and
+// reports the headline quantity as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a smoke reproduction of the whole evaluation. Benchmarks
+// default to the reduced "quick" experiment sizes so the suite finishes
+// in minutes; set TETRIUM_BENCH_FULL=1 for the full sizes recorded in
+// EXPERIMENTS.md (cmd/tetrium-bench prints the complete tables).
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tetrium/internal/exp"
+)
+
+func benchOptions() exp.Options {
+	return exp.Options{
+		Quick: os.Getenv("TETRIUM_BENCH_FULL") == "",
+		Seed:  1,
+	}
+}
+
+// cellPct parses "12.3%" into 12.3; used to surface table cells as
+// benchmark metrics.
+func cellPct(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func cellF(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func BenchmarkFig2Heterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(cellF(b, last[1]), "compute-spread-x")
+		b.ReportMetric(cellF(b, last[2]), "bw-spread-x")
+	}
+}
+
+func BenchmarkFig3WorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range t.Rows {
+			if r[0] == "tetrium (LP)" {
+				b.ReportMetric(cellF(b, r[5]), "tetrium-total-s")
+			}
+			if r[0] == "iridium (paper)" {
+				b.ReportMetric(cellF(b, r[5]), "iridium-total-s")
+			}
+		}
+	}
+}
+
+func BenchmarkSec22JobOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Sec22(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t.Rows[0][3]), "good-order-avg-s")
+		b.ReportMetric(cellF(b, t.Rows[1][3]), "bad-order-avg-s")
+	}
+}
+
+func BenchmarkFig5ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig5, _, err := exp.Fig56(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, fig5.Rows[0][1]), "tpcds8-vs-inplace-%")
+		b.ReportMetric(cellPct(b, fig5.Rows[0][2]), "tpcds8-vs-iridium-%")
+	}
+}
+
+func BenchmarkFig6Slowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig6, err := exp.Fig56(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, fig6.Rows[0][1]), "tpcds8-vs-inplace-%")
+	}
+}
+
+func BenchmarkFig7SchedulerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t.Rows[len(t.Rows)-1][1]), "largest-instance-ms")
+	}
+}
+
+func BenchmarkFig8Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, _, err := exp.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, a.Rows[0][1]), "tetrium-vs-inplace-%")
+		b.ReportMetric(cellPct(b, a.Rows[0][2]), "tetrium-vs-central-%")
+	}
+}
+
+func BenchmarkFig9Ordering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[0][2]), "remote+longest-%")
+	}
+}
+
+func BenchmarkFig10WANBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig10ab(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[0][2]), "rho0-wan-saving-%")
+	}
+}
+
+func BenchmarkFig10cFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig10c(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[len(t.Rows)-1][1]), "eps1-gain-%")
+	}
+}
+
+func BenchmarkFig11Dynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[0][1]), "smallest-drop-smallest-k-%")
+	}
+}
+
+func BenchmarkFig12GainBuckets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := exp.Fig12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Panel (a), highest intermediate/input bucket.
+		last := tabs[0].Rows[len(tabs[0].Rows)-1]
+		b.ReportMetric(cellF(b, last[2]), "high-ratio-gain-%")
+	}
+}
+
+func BenchmarkTetrisComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.TetrisCompare(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[0][1]), "avg-reduction-%")
+	}
+}
+
+func BenchmarkSkewSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.SkewSweep(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(cellPct(b, last[1]), "slot-skew-gain-%")
+		b.ReportMetric(cellPct(b, last[2]), "bw-skew-gain-%")
+	}
+}
+
+func BenchmarkForwardReverse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.ForwardReverse(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellPct(b, t.Rows[1][1]), "best-of-improvement-%")
+	}
+}
+
+// BenchmarkEndToEndSimulation measures the simulator itself: one full
+// 16-site trace-driven run per iteration (the substrate cost underlying
+// every figure).
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	c := Sim50(1)
+	jobs := GenerateTrace(TraceProduction, c, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(Options{Cluster: c, Jobs: jobs, Scheduler: SchedulerTetrium}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tetrium"
+	"tetrium/internal/trace"
+	"tetrium/internal/workload"
+)
+
+func TestParseScheduler(t *testing.T) {
+	cases := map[string]tetrium.Scheduler{
+		"tetrium":     tetrium.SchedulerTetrium,
+		"iridium":     tetrium.SchedulerIridium,
+		"in-place":    tetrium.SchedulerInPlace,
+		"centralized": tetrium.SchedulerCentralized,
+		"tetris":      tetrium.SchedulerTetris,
+	}
+	for name, want := range cases {
+		got, err := parseScheduler(name)
+		if err != nil || got != want {
+			t.Errorf("parseScheduler(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseScheduler("nope"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestDropFlags(t *testing.T) {
+	var d dropFlags
+	if err := d.Set("3:0.4:120"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || d[0].Site != 3 || d[0].Frac != 0.4 || d[0].Time != 120 {
+		t.Errorf("parsed drop = %+v", d)
+	}
+	for _, bad := range []string{"3:0.4", "x:0.4:120", "3:y:120", "3:0.4:z"} {
+		var b dropFlags
+		if err := b.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestLoadWorkloadPresets(t *testing.T) {
+	for _, cl := range []string{"ec2-8", "ec2-30", "sim-50", "paper", "osp"} {
+		c, jobs, err := loadWorkload(cl, "bigdata", "", 3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cl, err)
+		}
+		if c.N() == 0 || len(jobs) != 3 {
+			t.Fatalf("%s: %d sites, %d jobs", cl, c.N(), len(jobs))
+		}
+	}
+	for _, tr := range []string{"tpcds", "bigdata", "prod"} {
+		if _, jobs, err := loadWorkload("ec2-8", tr, "", 2, 1); err != nil || len(jobs) != 2 {
+			t.Fatalf("%s: %v", tr, err)
+		}
+	}
+	if _, _, err := loadWorkload("bogus", "tpcds", "", 1, 1); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if _, _, err := loadWorkload("ec2-8", "bogus", "", 1, 1); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}
+
+func TestLoadWorkloadTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	c, _, err := loadWorkload("paper", "bigdata", "", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := workload.Generate(workload.BigData(c.N(), 2, 1))
+	if err := trace.WriteFile(path, c, jobs, "test"); err != nil {
+		t.Fatal(err)
+	}
+	cl, loaded, err := loadWorkload("ec2-8", "tpcds", path, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded cluster overrides the preset; jobs come from the file.
+	if cl.N() != 3 || len(loaded) != 2 {
+		t.Errorf("got %d sites, %d jobs", cl.N(), len(loaded))
+	}
+	if _, _, err := loadWorkload("ec2-8", "tpcds", "/nonexistent.json", 1, 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

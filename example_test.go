@@ -1,0 +1,52 @@
+package tetrium_test
+
+import (
+	"fmt"
+
+	"tetrium"
+)
+
+// Example runs a small batch on the paper's Fig. 4 cluster and reports
+// which scheduler finished it faster.
+func Example() {
+	cl := tetrium.PaperExampleCluster()
+	jobs := tetrium.GenerateTrace(tetrium.TraceBigData, cl, 4, 7)
+
+	tet, err := tetrium.Simulate(tetrium.Options{
+		Cluster: cl, Jobs: jobs, Scheduler: tetrium.SchedulerTetrium,
+	})
+	if err != nil {
+		panic(err)
+	}
+	inp, err := tetrium.Simulate(tetrium.Options{
+		Cluster: cl, Jobs: jobs, Scheduler: tetrium.SchedulerInPlace,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tetrium faster:", tet.MeanResponse() < inp.MeanResponse())
+	// Output: tetrium faster: true
+}
+
+// ExampleSimulate_wanBudget shows the ρ knob: the same workload run with
+// the minimum WAN budget moves strictly fewer bytes across sites.
+func ExampleSimulate_wanBudget() {
+	cl := tetrium.PaperExampleCluster()
+	jobs := tetrium.GenerateTrace(tetrium.TraceBigData, cl, 4, 7)
+
+	frugal, err := tetrium.Simulate(tetrium.Options{
+		Cluster: cl, Jobs: jobs, Scheduler: tetrium.SchedulerTetrium,
+		Rho: 0, RhoSet: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	spender, err := tetrium.Simulate(tetrium.Options{
+		Cluster: cl, Jobs: jobs, Scheduler: tetrium.SchedulerTetrium,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rho=0 moves fewer bytes:", frugal.WANBytes < spender.WANBytes)
+	// Output: rho=0 moves fewer bytes: true
+}

@@ -1,0 +1,97 @@
+// Geoanalytics: a realistic multi-job scenario on the paper's 8-region
+// EC2-like deployment — the §1 motivating workload of continuously
+// arriving log-analysis queries — comparing all five schedulers on
+// response time, tail latency, slowdown, and WAN usage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tetrium"
+)
+
+func main() {
+	cl := tetrium.EC2EightRegions()
+	fmt.Println("cluster:")
+	for i, s := range cl.Sites {
+		fmt.Printf("  site %d: %v\n", i, s)
+	}
+
+	// A mixed batch: short BigData-style queries arriving alongside
+	// deeper TPC-DS-style reports.
+	jobs := tetrium.GenerateTrace(tetrium.TraceBigData, cl, 14, 7)
+	deep := tetrium.GenerateTrace(tetrium.TraceTPCDS, cl, 6, 8)
+	for i, j := range deep {
+		j.ID = len(jobs) + i
+		j.Name = fmt.Sprintf("report-%02d", i)
+		jobs = append(jobs, j)
+	}
+	fmt.Printf("\nworkload: %d jobs\n\n", len(jobs))
+
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n",
+		"scheduler", "mean (s)", "p90 (s)", "slowdown", "WAN (GB)", "makespan")
+	for _, s := range []tetrium.Scheduler{
+		tetrium.SchedulerTetrium,
+		tetrium.SchedulerIridium,
+		tetrium.SchedulerInPlace,
+		tetrium.SchedulerCentralized,
+		tetrium.SchedulerTetris,
+	} {
+		opts := tetrium.Options{Cluster: cl, Jobs: jobs, Scheduler: s}
+		res, err := tetrium.Simulate(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Slowdown: response over the job's isolated response (§6.1).
+		slow := make([]float64, 0, len(res.Jobs))
+		byID := map[int]*tetrium.Job{}
+		for _, j := range jobs {
+			byID[j.ID] = j
+		}
+		for _, jr := range res.Jobs {
+			iso, err := tetrium.SimulateIsolated(opts, byID[jr.ID])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if iso > 0 {
+				slow = append(slow, jr.Response/iso)
+			}
+		}
+		fmt.Printf("%-12s %10.1f %10.1f %10.2f %10.1f %10.1f\n",
+			s,
+			res.MeanResponse(),
+			p90(res.Responses()),
+			mean(slow),
+			res.WANBytes/tetrium.GB,
+			res.Makespan)
+	}
+}
+
+func p90(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	i := int(0.9*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t / float64(len(v))
+}

@@ -1,0 +1,3 @@
+module tetrium
+
+go 1.22

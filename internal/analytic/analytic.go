@@ -1,0 +1,167 @@
+// Package analytic evaluates stage durations in closed form using the
+// paper's own accounting (§2.2, Figs. 3–4 and footnote 2): network
+// transfer time and computation time per stage are each dominated by the
+// bottleneck site, computation runs in ⌈tasks/slots⌉ discrete waves, and
+// — as the paper's worked examples assume worst-case — transfer and
+// computation within a stage do not overlap.
+//
+// The package exists to pin the implementation to the paper's published
+// arithmetic: the Fig. 3 example must evaluate to exactly 88.5 s under
+// Iridium's placement, 59.83 s under the better placement, and 93 s for
+// the Central approach. It is also the estimator behind the §2.2
+// job-ordering example.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"tetrium/internal/cluster"
+)
+
+// MapStageTime returns (T_aggr, T_map) for a map stage where tasks[x][y]
+// tasks read their partitions from site x and run at site y.
+//
+//   - T_aggr: bottleneck of per-site upload/download durations, where
+//     site x uploads bytesPerTask · Σ_{y≠x} tasks[x][y] and downloads
+//     bytesPerTask · Σ_{y≠x} tasks[y][x].
+//   - T_map: bottleneck of per-site wave counts, taskDur · ⌈M_x/S_x⌉.
+func MapStageTime(c *cluster.Cluster, tasks [][]int, bytesPerTask, taskDur float64) (tAggr, tMap float64) {
+	n := c.N()
+	if len(tasks) != n {
+		panic(fmt.Sprintf("analytic: task matrix has %d rows, cluster has %d sites", len(tasks), n))
+	}
+	for x := 0; x < n; x++ {
+		var up, down, at int
+		for y := 0; y < n; y++ {
+			if y != x {
+				up += tasks[x][y]
+				down += tasks[y][x]
+			}
+			at += tasks[y][x]
+		}
+		if c.Sites[x].UpBW > 0 {
+			tAggr = math.Max(tAggr, float64(up)*bytesPerTask/c.Sites[x].UpBW)
+		}
+		if c.Sites[x].DownBW > 0 {
+			tAggr = math.Max(tAggr, float64(down)*bytesPerTask/c.Sites[x].DownBW)
+		}
+		if at > 0 {
+			waves := math.Ceil(float64(at) / float64(c.Sites[x].Slots))
+			tMap = math.Max(tMap, taskDur*waves)
+		}
+	}
+	return tAggr, tMap
+}
+
+// ReduceStageTime returns (T_shufl, T_red) for a reduce stage placing
+// tasks[x] reduce tasks at each site over intermediate bytes interBySite.
+// Site x uploads I_x·(1−r_x) and downloads r_x·Σ_{y≠x} I_y, with
+// r_x = tasks[x]/n_red; computation is taskDur · ⌈R_x/S_x⌉.
+func ReduceStageTime(c *cluster.Cluster, tasks []int, interBySite []float64, taskDur float64) (tShufl, tRed float64) {
+	n := c.N()
+	if len(tasks) != n || len(interBySite) != n {
+		panic("analytic: vector length mismatch")
+	}
+	nRed := 0
+	for _, t := range tasks {
+		nRed += t
+	}
+	if nRed == 0 {
+		return 0, 0
+	}
+	total := 0.0
+	for _, b := range interBySite {
+		total += b
+	}
+	for x := 0; x < n; x++ {
+		r := float64(tasks[x]) / float64(nRed)
+		up := interBySite[x] * (1 - r)
+		down := (total - interBySite[x]) * r
+		if c.Sites[x].UpBW > 0 {
+			tShufl = math.Max(tShufl, up/c.Sites[x].UpBW)
+		}
+		if c.Sites[x].DownBW > 0 {
+			tShufl = math.Max(tShufl, down/c.Sites[x].DownBW)
+		}
+		if tasks[x] > 0 {
+			waves := math.Ceil(float64(tasks[x]) / float64(c.Sites[x].Slots))
+			tRed = math.Max(tRed, taskDur*waves)
+		}
+	}
+	return tShufl, tRed
+}
+
+// JobTime composes the four terms for a one-map-one-reduce job under the
+// paper's no-overlap accounting: T = T_aggr + T_map + T_shufl + T_red.
+// interBySite is derived from the map placement: intermediate output
+// appears where map tasks ran, scaled by outputRatio.
+func JobTime(c *cluster.Cluster, mapTasks [][]int, bytesPerTask, mapDur float64,
+	outputRatio float64, redTasks []int, redDur float64) (total float64, parts [4]float64) {
+
+	tAggr, tMap := MapStageTime(c, mapTasks, bytesPerTask, mapDur)
+	inter := IntermediateFromMap(mapTasks, bytesPerTask, outputRatio)
+	tShufl, tRed := ReduceStageTime(c, redTasks, inter, redDur)
+	parts = [4]float64{tAggr, tMap, tShufl, tRed}
+	return tAggr + tMap + tShufl + tRed, parts
+}
+
+// IntermediateFromMap computes the intermediate bytes at each site after
+// a map stage placed as tasks[x][y]: each task produces
+// bytesPerTask·outputRatio at the site where it ran.
+func IntermediateFromMap(tasks [][]int, bytesPerTask, outputRatio float64) []float64 {
+	n := len(tasks)
+	out := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			out[y] += float64(tasks[x][y]) * bytesPerTask * outputRatio
+		}
+	}
+	return out
+}
+
+// MapOnlyJobTime returns the completion time of a single-stage (map
+// only) job placed as tasks[x][y], with each task computing for taskDur:
+// the §2.2 multi-job example's per-job estimate. A site's finish time is
+// its inbound transfer bottleneck plus its wave count × taskDur (the
+// paper's footnote 3 computes job-2's response as 0.4 s of transfer into
+// site-1 plus 2 waves × 1 s = 2.4 s); the job finishes when its slowest
+// site does.
+func MapOnlyJobTime(c *cluster.Cluster, tasks [][]int, bytesPerTask, taskDur float64) float64 {
+	n := c.N()
+	// Per-source upload durations (a source's uplink is shared by all of
+	// its outgoing partitions).
+	up := make([]float64, n)
+	for x := 0; x < n; x++ {
+		sent := 0
+		for y := 0; y < n; y++ {
+			if y != x {
+				sent += tasks[x][y]
+			}
+		}
+		if sent > 0 && c.Sites[x].UpBW > 0 {
+			up[x] = float64(sent) * bytesPerTask / c.Sites[x].UpBW
+		}
+	}
+	worst := 0.0
+	for y := 0; y < n; y++ {
+		at, remoteBytes := 0, 0.0
+		transfer := 0.0
+		for x := 0; x < n; x++ {
+			at += tasks[x][y]
+			if x != y && tasks[x][y] > 0 {
+				remoteBytes += float64(tasks[x][y]) * bytesPerTask
+				transfer = math.Max(transfer, up[x])
+			}
+		}
+		if at == 0 {
+			continue
+		}
+		if c.Sites[y].DownBW > 0 {
+			transfer = math.Max(transfer, remoteBytes/c.Sites[y].DownBW)
+		}
+		waves := math.Ceil(float64(at) / float64(c.Sites[y].Slots))
+		worst = math.Max(worst, transfer+waves*taskDur)
+	}
+	return worst
+}

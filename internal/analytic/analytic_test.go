@@ -1,0 +1,226 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/units"
+)
+
+// The tests in this file pin the implementation to the paper's published
+// arithmetic for the Fig. 3/4 worked example and the §2.2 job-ordering
+// example.
+
+const (
+	bytesPerTask = 100 * units.MB
+	mapDur       = 2.0
+	redDur       = 1.0
+	outputRatio  = 0.5
+)
+
+// iridiumMapTasks: all 1000 map tasks local: 200/300/500.
+func iridiumMapTasks() [][]int {
+	return [][]int{
+		{200, 0, 0},
+		{0, 300, 0},
+		{0, 0, 500},
+	}
+}
+
+func TestFig3IridiumMapStage(t *testing.T) {
+	c := cluster.PaperExample()
+	tAggr, tMap := MapStageTime(c, iridiumMapTasks(), bytesPerTask, mapDur)
+	if tAggr != 0 {
+		t.Errorf("T_aggr = %v, want 0 (all local)", tAggr)
+	}
+	// Bottleneck at site-2: 2 s × ⌈300/10⌉ = 60 s.
+	if tMap != 60 {
+		t.Errorf("T_map = %v, want 60", tMap)
+	}
+}
+
+func TestFig3IridiumReduceStage(t *testing.T) {
+	c := cluster.PaperExample()
+	inter := IntermediateFromMap(iridiumMapTasks(), bytesPerTask, outputRatio)
+	want := []float64{10 * units.GB, 15 * units.GB, 25 * units.GB}
+	for i := range want {
+		if math.Abs(inter[i]-want[i]) > 1 {
+			t.Fatalf("intermediate[%d] = %v, want %v", i, inter[i], want[i])
+		}
+	}
+	// Iridium's reduce placement: R = (0, 150, 350).
+	tShufl, tRed := ReduceStageTime(c, []int{0, 150, 350}, inter, redDur)
+	// Site-2 is the shuffle bottleneck: (10+25 GB)·0.3 / 1 GBps = 10.5 s.
+	if math.Abs(tShufl-10.5) > 1e-9 {
+		t.Errorf("T_shufl = %v, want 10.5", tShufl)
+	}
+	// Site-3 is the compute bottleneck: 1 s × ⌈350/20⌉ = 18 s.
+	if tRed != 18 {
+		t.Errorf("T_red = %v, want 18", tRed)
+	}
+}
+
+func TestFig3IridiumTotal(t *testing.T) {
+	c := cluster.PaperExample()
+	total, parts := JobTime(c, iridiumMapTasks(), bytesPerTask, mapDur, outputRatio,
+		[]int{0, 150, 350}, redDur)
+	if math.Abs(total-88.5) > 1e-9 {
+		t.Errorf("total = %v (parts %v), want paper's 88.5", total, parts)
+	}
+}
+
+// betterMapTasks is the paper's better placement: site-2 sends 157 tasks
+// (15.7 GB) and site-3 sends 214 tasks (21.4 GB) to site-1, leaving
+// M = (571, 143, 286).
+func betterMapTasks() [][]int {
+	return [][]int{
+		{200, 0, 0},
+		{157, 143, 0},
+		{214, 0, 286},
+	}
+}
+
+func TestFig3BetterMapStage(t *testing.T) {
+	c := cluster.PaperExample()
+	tAggr, tMap := MapStageTime(c, betterMapTasks(), bytesPerTask, mapDur)
+	// Site-2 upload dominates: 15.7 GB / 1 GBps = 15.7 s.
+	if math.Abs(tAggr-15.7) > 1e-9 {
+		t.Errorf("T_aggr = %v, want 15.7", tAggr)
+	}
+	// All sites now take 15 waves: 2 s × 15 = 30 s.
+	if tMap != 30 {
+		t.Errorf("T_map = %v, want 30", tMap)
+	}
+}
+
+func TestFig3BetterTotal(t *testing.T) {
+	c := cluster.PaperExample()
+	// Reduce placement R = (286, 71, 143) (r ≈ 0.571/0.143/0.286).
+	total, parts := JobTime(c, betterMapTasks(), bytesPerTask, mapDur, outputRatio,
+		[]int{286, 71, 143}, redDur)
+	// Paper: 15.7 + 30 + 6.13 + 8 = 59.83. Integer task counts shift the
+	// shuffle term by a hair (6.135 vs 6.13).
+	if math.Abs(total-59.83) > 0.05 {
+		t.Errorf("total = %v (parts %v), want ~59.83", total, parts)
+	}
+	if parts[3] != 8 {
+		t.Errorf("T_red = %v, want 8 (8 waves everywhere)", parts[3])
+	}
+	if math.Abs(parts[2]-6.13) > 0.05 {
+		t.Errorf("T_shufl = %v, want ~6.13", parts[2])
+	}
+}
+
+func TestFig3CentralTotal(t *testing.T) {
+	c := cluster.PaperExample()
+	// Central: everything to site-1.
+	central := [][]int{
+		{200, 0, 0},
+		{300, 0, 0},
+		{500, 0, 0},
+	}
+	total, parts := JobTime(c, central, bytesPerTask, mapDur, outputRatio,
+		[]int{500, 0, 0}, redDur)
+	// Paper: 93 s (T_aggr 30 = site-2's 30 GB over 1 GBps, T_map 50,
+	// T_shufl 0, T_red 13).
+	if math.Abs(total-93) > 1e-9 {
+		t.Errorf("total = %v (parts %v), want 93", total, parts)
+	}
+	if parts[0] != 30 || parts[1] != 50 || parts[2] != 0 || parts[3] != 13 {
+		t.Errorf("parts = %v, want [30 50 0 13]", parts)
+	}
+}
+
+// sec22Cluster: 3 sites × 3 slots, 1 GBps everywhere.
+func sec22Cluster() *cluster.Cluster {
+	sites := make([]cluster.Site, 3)
+	for i := range sites {
+		sites[i] = cluster.Site{Name: "s", Slots: 3, UpBW: 1 * units.GBps, DownBW: 1 * units.GBps}
+	}
+	return cluster.New(sites)
+}
+
+func TestSec22IsolatedOptima(t *testing.T) {
+	c := sec22Cluster()
+	// Job-1 local (0,1,2): 1 s.
+	job1 := [][]int{{0, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	if got := MapOnlyJobTime(c, job1, bytesPerTask, 1); got != 1 {
+		t.Errorf("job-1 isolated = %v, want 1", got)
+	}
+	// Job-2 local (2,4,6): 2 waves at site-3 => 2 s.
+	job2 := [][]int{{2, 0, 0}, {0, 4, 0}, {0, 0, 6}}
+	if got := MapOnlyJobTime(c, job2, bytesPerTask, 1); got != 2 {
+		t.Errorf("job-2 isolated = %v, want 2", got)
+	}
+}
+
+func TestSec22Job2AfterJob1(t *testing.T) {
+	c := sec22Cluster()
+	// With job-1 placed first, job-2's best placement is (6,4,2): site-3
+	// sends 4 tasks to site-1 (0.4 s transfer), 2 waves => 2.4 s.
+	job2 := [][]int{{2, 0, 0}, {0, 4, 0}, {4, 0, 2}}
+	if got := MapOnlyJobTime(c, job2, bytesPerTask, 1); math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("job-2 after job-1 = %v, want 2.4", got)
+	}
+	// Average of the two jobs: (1 + 2.4)/2 = 1.7 s (paper's number).
+	avg := (1 + 2.4) / 2
+	if math.Abs(avg-1.7) > 1e-9 {
+		t.Errorf("average = %v, want 1.7", avg)
+	}
+}
+
+func TestSec22Job1AfterJob2(t *testing.T) {
+	c := sec22Cluster()
+	// Opposite order: job-1 forced to (3,0,0): 0.3 s transfer + 1 wave =
+	// 1.3 s of service, but it waits 2 s for job-2's slots: 3.3 s total.
+	job1 := [][]int{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}
+	service := MapOnlyJobTime(c, job1, bytesPerTask, 1)
+	if math.Abs(service-1.3) > 1e-9 {
+		t.Errorf("job-1 displaced service = %v, want 1.3", service)
+	}
+	response := 2 + service
+	avg := (2 + response) / 2
+	if math.Abs(avg-2.65) > 1e-9 {
+		t.Errorf("average = %v, want paper's 2.65", avg)
+	}
+}
+
+func TestReduceStageTimeEmpty(t *testing.T) {
+	c := cluster.PaperExample()
+	tShufl, tRed := ReduceStageTime(c, []int{0, 0, 0}, []float64{1, 1, 1}, 1)
+	if tShufl != 0 || tRed != 0 {
+		t.Errorf("empty reduce = %v,%v, want 0,0", tShufl, tRed)
+	}
+}
+
+func TestMapStageTimePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MapStageTime(cluster.PaperExample(), [][]int{{1}}, 1, 1)
+}
+
+func TestReduceStageTimePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReduceStageTime(cluster.PaperExample(), []int{1}, []float64{1}, 1)
+}
+
+func TestIntermediateFromMapConservation(t *testing.T) {
+	tasks := betterMapTasks()
+	inter := IntermediateFromMap(tasks, bytesPerTask, outputRatio)
+	total := 0.0
+	for _, b := range inter {
+		total += b
+	}
+	// 1000 tasks × 100 MB × 0.5 = 50 GB.
+	if math.Abs(total-50*units.GB) > 1 {
+		t.Errorf("total intermediate = %v, want 50 GB", total)
+	}
+}

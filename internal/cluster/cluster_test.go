@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tetrium/internal/units"
+)
+
+func TestPaperExample(t *testing.T) {
+	c := PaperExample()
+	if c.N() != 3 {
+		t.Fatalf("N = %d, want 3", c.N())
+	}
+	wantSlots := []int{40, 10, 20}
+	for i, w := range wantSlots {
+		if c.Sites[i].Slots != w {
+			t.Errorf("site %d slots = %d, want %d", i, c.Sites[i].Slots, w)
+		}
+	}
+	if c.TotalSlots() != 70 {
+		t.Errorf("TotalSlots = %d, want 70", c.TotalSlots())
+	}
+	if got := c.Sites[1].UpBW; got != 1*units.GBps {
+		t.Errorf("site-2 up = %v, want 1 GBps", got)
+	}
+	if got := c.Sites[2].DownBW; got != 5*units.GBps {
+		t.Errorf("site-3 down = %v, want 5 GBps", got)
+	}
+}
+
+func TestMostPowerful(t *testing.T) {
+	c := PaperExample()
+	if got := c.MostPowerful(); got != 0 {
+		t.Errorf("MostPowerful = %d, want 0", got)
+	}
+	// Tie on slots broken by downlink.
+	c2 := New([]Site{
+		{Name: "a", Slots: 10, DownBW: 1},
+		{Name: "b", Slots: 10, DownBW: 5},
+	})
+	if got := c2.MostPowerful(); got != 1 {
+		t.Errorf("MostPowerful = %d, want 1", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := PaperExample()
+	if got := c.Slots(); got[0] != 40 || got[1] != 10 || got[2] != 20 {
+		t.Errorf("Slots = %v", got)
+	}
+	up := c.UpBW()
+	down := c.DownBW()
+	if up[1] != 1*units.GBps || down[1] != 1*units.GBps {
+		t.Errorf("bw accessors wrong: up=%v down=%v", up[1], down[1])
+	}
+	// Accessors must return copies.
+	up[0] = 0
+	if c.Sites[0].UpBW == 0 {
+		t.Error("UpBW returned aliased storage")
+	}
+}
+
+func TestNewCopies(t *testing.T) {
+	src := []Site{{Name: "a", Slots: 1}}
+	c := New(src)
+	src[0].Slots = 99
+	if c.Sites[0].Slots != 1 {
+		t.Error("New did not copy sites")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	for _, bad := range []Site{
+		{Slots: -1},
+		{UpBW: -1},
+		{DownBW: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", bad)
+				}
+			}()
+			New([]Site{bad})
+		}()
+	}
+}
+
+func TestEC2Presets(t *testing.T) {
+	c8 := EC2EightRegions()
+	if c8.N() != 8 {
+		t.Fatalf("EC2EightRegions N = %d, want 8", c8.N())
+	}
+	for _, s := range c8.Sites {
+		if s.Slots < 4 || s.Slots > 16 {
+			t.Errorf("site %s slots %d outside paper's [4,16]", s.Name, s.Slots)
+		}
+		if s.UpBW < 100*units.Mbps || s.UpBW > 1000*units.Mbps {
+			t.Errorf("site %s bw %.0f outside paper's [100Mbps, 1Gbps]", s.Name, s.UpBW)
+		}
+	}
+	c30 := EC2ThirtySites(1)
+	if c30.N() != 30 {
+		t.Fatalf("EC2ThirtySites N = %d, want 30", c30.N())
+	}
+	// Deterministic for a fixed seed.
+	c30b := EC2ThirtySites(1)
+	for i := range c30.Sites {
+		if c30.Sites[i] != c30b.Sites[i] {
+			t.Fatal("EC2ThirtySites not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSim50Ranges(t *testing.T) {
+	c := Sim50(7)
+	if c.N() != 50 {
+		t.Fatalf("N = %d, want 50", c.N())
+	}
+	for _, s := range c.Sites {
+		if s.Slots < 25 || s.Slots > 5000 {
+			t.Errorf("slots %d outside paper's [25,5000]", s.Slots)
+		}
+		if s.UpBW < 100*units.Mbps || s.UpBW > 2000*units.Mbps {
+			t.Errorf("up bw %.0f outside paper's [100Mbps,2Gbps]", s.UpBW)
+		}
+	}
+}
+
+func TestOSPLikeHeterogeneity(t *testing.T) {
+	// Fig. 2: compute capacities vary by up to ~two orders of magnitude,
+	// bandwidths by up to ~18x.
+	c := OSPLike(300, 42)
+	h := c.Heterogeneity()
+	maxSlots := h.NormalizedSlots[len(h.NormalizedSlots)-1]
+	maxBW := h.NormalizedBW[len(h.NormalizedBW)-1]
+	if maxSlots < 50 || maxSlots > 250 {
+		t.Errorf("slot spread = %.0fx, want order of 100-200x", maxSlots)
+	}
+	if maxBW < 10 || maxBW > 20 {
+		t.Errorf("bw spread = %.1fx, want order of 18x", maxBW)
+	}
+	// CDF values must be sorted ascending and start at 1 (min-normalized).
+	if h.NormalizedSlots[0] != 1 || h.NormalizedBW[0] != 1 {
+		t.Errorf("normalized minima = %v, %v, want 1", h.NormalizedSlots[0], h.NormalizedBW[0])
+	}
+	for i := 1; i < len(h.NormalizedSlots); i++ {
+		if h.NormalizedSlots[i] < h.NormalizedSlots[i-1] {
+			t.Fatal("NormalizedSlots not sorted")
+		}
+	}
+}
+
+func TestZipfConservesTotals(t *testing.T) {
+	const totalSlots = 1000
+	totalBW := 50 * units.GBps
+	for _, e := range []float64{0, 0.4, 0.8, 1.2, 1.6} {
+		c := Zipf(20, e, e, totalSlots, totalBW)
+		if got := c.TotalSlots(); got != totalSlots {
+			t.Errorf("e=%v: TotalSlots = %d, want %d", e, got, totalSlots)
+		}
+		bw := 0.0
+		for _, s := range c.Sites {
+			bw += s.UpBW
+		}
+		if math.Abs(bw-totalBW) > 1e-3*totalBW {
+			t.Errorf("e=%v: total BW = %v, want %v", e, bw, totalBW)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesWithExponent(t *testing.T) {
+	skew := func(e float64) float64 {
+		c := Zipf(20, e, e, 1000, 50*units.GBps)
+		max, min := 0, int(1<<30)
+		for _, s := range c.Sites {
+			if s.Slots > max {
+				max = s.Slots
+			}
+			if s.Slots < min {
+				min = s.Slots
+			}
+		}
+		return float64(max) / float64(min)
+	}
+	if !(skew(0) < skew(0.8) && skew(0.8) < skew(1.6)) {
+		t.Errorf("skew not increasing: %v %v %v", skew(0), skew(0.8), skew(1.6))
+	}
+	// e=0 must be (near) uniform.
+	if s := skew(0); s > 1.3 {
+		t.Errorf("e=0 skew = %v, want ~1", s)
+	}
+}
+
+func TestZipfWeightsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(seed%29+29)%29 // 2..30
+		e := float64((seed/31)%17) / 10
+		if e < 0 {
+			e = -e
+		}
+		w := zipfWeights(n, e)
+		sum := 0.0
+		for i, x := range w {
+			if x <= 0 {
+				return false
+			}
+			if i > 0 && x > w[i-1]+1e-12 {
+				return false // must be non-increasing
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	s := Site{Name: "x", Slots: 4, UpBW: 100 * units.MBps, DownBW: 200 * units.MBps}
+	if got := s.String(); got != "x{slots=4 up=100MB/s down=200MB/s}" {
+		t.Errorf("String = %q", got)
+	}
+}

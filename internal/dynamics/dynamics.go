@@ -1,0 +1,123 @@
+// Package dynamics implements the paper's resource-dynamics handling
+// (§4.2): when a site's capacity drops, the global manager recomputes
+// the ideal task assignment f* but, to bound update overhead, changes
+// the assignment at only k sites, choosing the new assignment f' that
+// minimizes the distance Q = √(Σ_i (f'_i − f*_i)²).
+package dynamics
+
+import (
+	"math"
+	"sort"
+)
+
+// Q returns the paper's distance metric between an assignment and the
+// ideal assignment: the Euclidean norm of the per-site differences.
+func Q(assign, ideal []int) float64 {
+	s := 0.0
+	for i := range assign {
+		d := float64(assign[i] - ideal[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Reassign adjusts the per-site task assignment old toward ideal while
+// changing at most k sites, minimizing Q against ideal. k ≤ 0 or
+// k ≥ len(old) performs a full update (returns ideal). The total task
+// count is preserved; all counts stay non-negative.
+//
+// The heuristic follows §4.2: rank sites by |f*_z − f_z| descending
+// (those are the sites that most need updating — led by the ones that
+// must shed tasks after a resource drop), update the top-k to their
+// ideal values, and repair the conservation mismatch within the updated
+// set by spreading it evenly (which minimizes the squared distance).
+func Reassign(old, ideal []int, k int) []int {
+	n := len(old)
+	if len(ideal) != n {
+		panic("dynamics: assignment length mismatch")
+	}
+	out := make([]int, n)
+	if k <= 0 || k >= n {
+		copy(out, ideal)
+		return out
+	}
+	copy(out, old)
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da := abs(ideal[idx[a]] - old[idx[a]])
+		db := abs(ideal[idx[b]] - old[idx[b]])
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	chosen := idx[:k]
+
+	// Set chosen sites to ideal, then repair the total within the set.
+	delta := 0 // tasks freed by the update (old − ideal over the set)
+	for _, i := range chosen {
+		delta += old[i] - ideal[i]
+		out[i] = ideal[i]
+	}
+	// delta must be re-absorbed by the chosen set to conserve the total.
+	// Spread evenly (minimizing Σ(f'−f*)²), respecting non-negativity.
+	for delta != 0 {
+		step := 1
+		if delta < 0 {
+			step = -1
+		}
+		moved := false
+		for _, i := range chosen {
+			if delta == 0 {
+				break
+			}
+			if step < 0 && out[i] == 0 {
+				continue
+			}
+			out[i] += step
+			delta -= step
+			moved = true
+		}
+		if !moved {
+			// Cannot absorb a negative delta inside the set (everything
+			// at zero): push the remainder onto the site with the most
+			// old tasks outside the set. This changes a (k+1)-th site
+			// but preserves conservation, which callers rely on.
+			best := -1
+			for i := range out {
+				if !contains(chosen, i) && (best == -1 || out[i] > out[best]) {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			out[best] += -delta
+			if out[best] < 0 {
+				out[best] = 0
+			}
+			delta = 0
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package dynamics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sum(v []int) int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestQ(t *testing.T) {
+	if got := Q([]int{1, 2}, []int{1, 2}); got != 0 {
+		t.Errorf("Q identical = %v", got)
+	}
+	if got := Q([]int{0, 0}, []int{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Q = %v, want 5", got)
+	}
+}
+
+func TestReassignFullUpdate(t *testing.T) {
+	old := []int{10, 10, 10}
+	ideal := []int{5, 15, 10}
+	for _, k := range []int{0, 3, 99} {
+		got := Reassign(old, ideal, k)
+		for i := range ideal {
+			if got[i] != ideal[i] {
+				t.Fatalf("k=%d: Reassign = %v, want ideal %v", k, got, ideal)
+			}
+		}
+	}
+}
+
+func TestReassignLimitedSites(t *testing.T) {
+	old := []int{20, 10, 10, 10}
+	ideal := []int{5, 15, 15, 15} // site 0 must shed 15
+	got := Reassign(old, ideal, 2)
+	if sum(got) != sum(old) {
+		t.Fatalf("total changed: %v", got)
+	}
+	changed := 0
+	for i := range old {
+		if got[i] != old[i] {
+			changed++
+		}
+	}
+	if changed > 2 {
+		t.Errorf("changed %d sites, want <= 2: %v", changed, got)
+	}
+	// The update must strictly reduce the distance to ideal.
+	if Q(got, ideal) >= Q(old, ideal) {
+		t.Errorf("Q did not improve: %v vs %v", Q(got, ideal), Q(old, ideal))
+	}
+}
+
+func TestReassignPrefersLargestGaps(t *testing.T) {
+	old := []int{30, 10, 10}
+	ideal := []int{10, 20, 20} // gaps: 20, 10, 10
+	got := Reassign(old, ideal, 2)
+	// Site 0 (largest gap) must be updated.
+	if got[0] == old[0] {
+		t.Errorf("largest-gap site untouched: %v", got)
+	}
+	if sum(got) != 50 {
+		t.Errorf("total = %d, want 50", sum(got))
+	}
+}
+
+func TestReassignMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Reassign([]int{1}, []int{1, 2}, 1)
+}
+
+func TestReassignProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		total := 10 + rng.Intn(200)
+		old := randomAssign(rng, n, total)
+		ideal := randomAssign(rng, n, total)
+		k := 1 + rng.Intn(n)
+		got := Reassign(old, ideal, k)
+		if sum(got) != total {
+			return false
+		}
+		for _, x := range got {
+			if x < 0 {
+				return false
+			}
+		}
+		// Never worse than doing nothing.
+		return Q(got, ideal) <= Q(old, ideal)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassignMoreSitesNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		total := 20 + rng.Intn(100)
+		old := randomAssign(rng, n, total)
+		ideal := randomAssign(rng, n, total)
+		prev := math.Inf(1)
+		for k := 1; k <= n; k++ {
+			q := Q(Reassign(old, ideal, k), ideal)
+			if q > prev+1e-9 {
+				return false
+			}
+			prev = q
+		}
+		return prev < 1e-9 // k = n reaches ideal exactly
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomAssign(rng *rand.Rand, n, total int) []int {
+	out := make([]int, n)
+	for i := 0; i < total; i++ {
+		out[rng.Intn(n)]++
+	}
+	return out
+}

@@ -1,0 +1,601 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A x {<=,=,>=} b
+//	            x >= 0
+//
+// It substitutes for the Gurobi solver used by the Tetrium paper. The LPs
+// formulated in the paper (map-task and reduce-task placement, WAN-budget
+// minimization) are small — O(n²) variables for n sites, with n <= 50 —
+// so an exact dense simplex finds the same optimum the paper's solver
+// does, with no external dependencies.
+//
+// The solver uses Dantzig pricing for speed, switching to Bland's rule
+// when it detects stalling, which guarantees termination on degenerate
+// problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x <= b
+	GE              // a·x >= b
+	EQ              // a·x == b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors returned by Solve for non-optimal outcomes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+// Var identifies a decision variable within a Problem.
+type Var int
+
+// constraint is one row of the constraint system.
+type constraint struct {
+	coefs map[Var]float64
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly bounded below by zero. The zero value is not usable; call
+// NewProblem.
+type Problem struct {
+	obj   []float64 // objective coefficient per variable
+	names []string
+	rows  []constraint
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// AddVar adds a variable with the given objective coefficient and returns
+// its handle. The name is used only for diagnostics.
+func (p *Problem) AddVar(name string, objCoef float64) Var {
+	p.obj = append(p.obj, objCoef)
+	p.names = append(p.names, name)
+	return Var(len(p.obj) - 1)
+}
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjCoef overwrites the objective coefficient of v.
+func (p *Problem) SetObjCoef(v Var, c float64) {
+	p.obj[v] = c
+}
+
+// AddConstraint adds the row coefs·x sense rhs. The coefficient map is
+// copied; the caller may reuse it.
+func (p *Problem) AddConstraint(coefs map[Var]float64, sense Sense, rhs float64) {
+	cp := make(map[Var]float64, len(coefs))
+	for v, c := range coefs {
+		if int(v) < 0 || int(v) >= len(p.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", v))
+		}
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	p.rows = append(p.rows, constraint{coefs: cp, sense: sense, rhs: rhs})
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // value per variable, indexed by Var
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+const (
+	eps     = 1e-9
+	epsCost = 1e-7
+)
+
+// Solve minimizes the objective and returns the optimal solution.
+// It returns ErrInfeasible or ErrUnbounded for those outcomes.
+//
+// The problem is equilibrated before solving: each column is divided by
+// its largest constraint coefficient and each row by its largest scaled
+// coefficient, bringing every entry to O(1). The placement LPs mix
+// coefficients of order 10⁹ (bytes, bytes/sec) with order-1 task
+// fractions; without scaling, floating-point cancellation in the
+// tableau swamps the small coefficients and the simplex can terminate
+// at an infeasible point.
+func (p *Problem) Solve() (*Solution, error) {
+	sp, colScale, err := p.equilibrate()
+	if err != nil {
+		return nil, err
+	}
+	t := newTableau(sp)
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	if err := t.phase2(); err != nil {
+		return nil, err
+	}
+	x := t.extract()
+	for j := range x {
+		x[j] /= colScale[j]
+	}
+	obj := 0.0
+	for i, c := range p.obj {
+		obj += c * x[i]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// equilibrate returns a scaled copy of the problem plus the column
+// scales (substitution x'_j = colScale_j · x_j, so x_j = x'_j/colScale_j
+// recovers the original solution). It applies a few rounds of
+// geometric-mean row/column scaling, which shrinks the coefficient
+// *spread* — a max-based scaling would leave columns mixing 10¹⁰-scale
+// byte coefficients with unit task-fraction coefficients at a 10⁻¹⁰
+// relative magnitude, below the solver's zero thresholds. Rows whose
+// coefficients are all zero are checked for trivial consistency and
+// dropped.
+func (p *Problem) equilibrate() (*Problem, []float64, error) {
+	n := len(p.obj)
+	// Dense-ish working copy of the rows, dropping trivial ones.
+	type row struct {
+		coefs map[Var]float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]row, 0, len(p.rows))
+	for _, r := range p.rows {
+		nonzero := false
+		for _, c := range r.coefs {
+			if c != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			switch {
+			case r.sense == LE && r.rhs >= -1e-12,
+				r.sense == GE && r.rhs <= 1e-12,
+				r.sense == EQ && math.Abs(r.rhs) <= 1e-12:
+				continue
+			default:
+				return nil, nil, ErrInfeasible
+			}
+		}
+		cp := make(map[Var]float64, len(r.coefs))
+		for v, c := range r.coefs {
+			cp[v] = c
+		}
+		rows = append(rows, row{coefs: cp, sense: r.sense, rhs: r.rhs})
+	}
+
+	colScale := make([]float64, n)
+	for j := range colScale {
+		colScale[j] = 1
+	}
+	const rounds = 6
+	for iter := 0; iter < rounds; iter++ {
+		// Row pass: divide each row by the geometric mean of its extreme
+		// coefficient magnitudes.
+		for i := range rows {
+			minA, maxA := math.Inf(1), 0.0
+			for _, c := range rows[i].coefs {
+				if a := math.Abs(c); a > 0 {
+					if a < minA {
+						minA = a
+					}
+					if a > maxA {
+						maxA = a
+					}
+				}
+			}
+			if maxA == 0 {
+				continue
+			}
+			g := math.Sqrt(minA * maxA)
+			if g <= 0 || math.Abs(math.Log(g)) < 1e-3 {
+				continue
+			}
+			for v := range rows[i].coefs {
+				rows[i].coefs[v] /= g
+			}
+			rows[i].rhs /= g
+		}
+		// Column pass.
+		minC := make([]float64, n)
+		maxC := make([]float64, n)
+		for j := range minC {
+			minC[j] = math.Inf(1)
+		}
+		for i := range rows {
+			for v, c := range rows[i].coefs {
+				if a := math.Abs(c); a > 0 {
+					if a < minC[v] {
+						minC[v] = a
+					}
+					if a > maxC[v] {
+						maxC[v] = a
+					}
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if maxC[j] == 0 {
+				continue
+			}
+			g := math.Sqrt(minC[j] * maxC[j])
+			if g <= 0 || math.Abs(math.Log(g)) < 1e-3 {
+				continue
+			}
+			colScale[j] *= g
+			for i := range rows {
+				if c, ok := rows[i].coefs[Var(j)]; ok {
+					rows[i].coefs[Var(j)] = c / g
+				}
+			}
+		}
+	}
+
+	sp := &Problem{obj: make([]float64, n), names: p.names}
+	objMax := 0.0
+	for j := range sp.obj {
+		sp.obj[j] = p.obj[j] / colScale[j]
+		if a := math.Abs(sp.obj[j]); a > objMax {
+			objMax = a
+		}
+	}
+	if objMax > 0 {
+		for j := range sp.obj {
+			sp.obj[j] /= objMax
+		}
+	}
+	for _, r := range rows {
+		sp.rows = append(sp.rows, constraint{coefs: r.coefs, sense: r.sense, rhs: r.rhs})
+	}
+	return sp, colScale, nil
+}
+
+// tableau holds the dense simplex tableau. Columns: the n structural
+// variables, then slack/surplus variables, then artificial variables.
+// Rows: one per constraint, plus the objective row held separately.
+type tableau struct {
+	p       *Problem
+	m, n    int // constraints, structural variables
+	ncols   int // total columns (structural + slack + artificial)
+	nslack  int
+	nart    int
+	a       [][]float64 // m rows × ncols
+	b       []float64   // m
+	basis   []int       // column index basic in each row
+	artCols []int       // column indices of artificial variables
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	n := len(p.obj)
+	t := &tableau{p: p, m: m, n: n}
+
+	// Count slack/surplus columns.
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			t.nslack++
+		}
+	}
+	// Artificial variables: one per row that needs it. GE and EQ rows
+	// always need one; LE rows need one only when rhs < 0 (after sign
+	// normalization they become GE-like). We normalize rhs >= 0 first,
+	// flipping the sense, and then LE rows start basic on their slack.
+	// Allocate pessimistically one artificial per row; unused ones are
+	// simply never created.
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+
+	// First pass: normalize rows so rhs >= 0 and count artificials.
+	type normRow struct {
+		coefs map[Var]float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]normRow, m)
+	for i, r := range p.rows {
+		nr := normRow{coefs: r.coefs, sense: r.sense, rhs: r.rhs}
+		if nr.rhs < 0 {
+			flipped := make(map[Var]float64, len(nr.coefs))
+			for v, c := range nr.coefs {
+				flipped[v] = -c
+			}
+			nr.coefs = flipped
+			nr.rhs = -nr.rhs
+			switch nr.sense {
+			case LE:
+				nr.sense = GE
+			case GE:
+				nr.sense = LE
+			}
+		}
+		rows[i] = nr
+		if nr.sense != LE {
+			t.nart++
+		}
+	}
+	t.ncols = n + t.nslack + t.nart
+
+	slackAt := n
+	artAt := n + t.nslack
+	for i, r := range rows {
+		row := make([]float64, t.ncols)
+		for v, c := range r.coefs {
+			row[v] = c
+		}
+		t.b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			row[slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			t.basis[i] = artAt
+			t.artCols = append(t.artCols, artAt)
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			t.basis[i] = artAt
+			t.artCols = append(t.artCols, artAt)
+			artAt++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// pivot performs a pivot on (row, col) using Gauss-Jordan elimination.
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.b[row] *= inv
+	pr[col] = 1 // fight rounding
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// simplexLoop runs the simplex method minimizing the reduced-cost vector
+// derived from cost (one entry per column). allowed reports whether a
+// column may enter the basis. Returns ErrUnbounded when no leaving row
+// exists for an improving column.
+func (t *tableau) simplexLoop(cost []float64, allowed func(col int) bool) error {
+	// Reduced costs are recomputed from scratch each iteration via the
+	// basis multipliers; for the problem sizes here (≤ ~3000 columns,
+	// ≤ ~200 rows) this is plenty fast and numerically robust.
+	maxIter := 50 * (t.m + t.ncols)
+	if maxIter < 10000 {
+		maxIter = 10000
+	}
+	stall := 0
+	prevObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		// y = c_B B^{-1} is implicit: since we keep the full tableau in
+		// canonical form, reduced cost of col j is cost[j] - Σ_i
+		// cost[basis[i]] * a[i][j].
+		rc := make([]float64, t.ncols)
+		copy(rc, cost)
+		for i, bc := range t.basis {
+			cb := cost[bc]
+			if cb == 0 {
+				continue
+			}
+			ri := t.a[i]
+			for j := range rc {
+				rc[j] -= cb * ri[j]
+			}
+		}
+		// Objective value for stall detection.
+		obj := 0.0
+		for i, bc := range t.basis {
+			obj += cost[bc] * t.b[i]
+		}
+		if obj < prevObj-eps {
+			stall = 0
+		} else {
+			stall++
+		}
+		prevObj = obj
+
+		bland := stall > 2*(t.m+2)
+
+		// Entering column.
+		enter := -1
+		best := -epsCost
+		for j := 0; j < t.ncols; j++ {
+			if !allowed(j) {
+				continue
+			}
+			if rc[j] < -epsCost {
+				if bland {
+					enter = j
+					break
+				}
+				if rc[j] < best {
+					best = rc[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+// phase1 drives artificial variables to zero, establishing feasibility.
+func (t *tableau) phase1() error {
+	if t.nart == 0 {
+		return nil
+	}
+	cost := make([]float64, t.ncols)
+	isArt := make([]bool, t.ncols)
+	for _, c := range t.artCols {
+		cost[c] = 1
+		isArt[c] = true
+	}
+	if err := t.simplexLoop(cost, func(int) bool { return true }); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase 1 objective is bounded below by 0; unbounded here
+			// indicates a numerical breakdown, not a model property.
+			return errors.New("lp: phase 1 reported unbounded (numerical failure)")
+		}
+		return err
+	}
+	// Check artificial objective ~ 0.
+	obj := 0.0
+	for i, bc := range t.basis {
+		obj += cost[bc] * t.b[i]
+	}
+	if obj > 1e-6 {
+		return ErrInfeasible
+	}
+	// Drive any artificial still in the basis (at zero level) out of it.
+	for i, bc := range t.basis {
+		if !isArt[bc] {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.ncols; j++ {
+			if isArt[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		// If the row is all zeros over non-artificial columns it is a
+		// redundant constraint; leaving the artificial basic at level 0
+		// is harmless as long as it never re-enters (phase 2 disallows
+		// artificial columns from entering).
+		_ = pivoted
+	}
+	return nil
+}
+
+// phase2 minimizes the true objective over the feasible region found in
+// phase 1, never letting artificial columns re-enter.
+func (t *tableau) phase2() error {
+	cost := make([]float64, t.ncols)
+	copy(cost, t.p.obj)
+	isArt := make([]bool, t.ncols)
+	for _, c := range t.artCols {
+		isArt[c] = true
+	}
+	return t.simplexLoop(cost, func(col int) bool { return !isArt[col] })
+}
+
+// extract reads off structural variable values from the tableau.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for i, bc := range t.basis {
+		if bc < t.n {
+			v := t.b[i]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[bc] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,468 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 2  => x=2, y=2, obj=-4.
+	p := NewProblem()
+	x := p.AddVar("x", -1)
+	y := p.AddVar("y", -1)
+	p.AddConstraint(map[Var]float64{x: 1, y: 1}, LE, 4)
+	p.AddConstraint(map[Var]float64{x: 1}, LE, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Objective, -4, 1e-6) {
+		t.Errorf("objective = %v, want -4", s.Objective)
+	}
+	if !almostEq(s.Value(x), 2, 1e-6) || !almostEq(s.Value(y), 2, 1e-6) {
+		t.Errorf("x=%v y=%v, want 2,2", s.Value(x), s.Value(y))
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y  s.t. x + y = 3, y >= 1  => x=2, y=1, obj=4.
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 2)
+	p.AddConstraint(map[Var]float64{x: 1, y: 1}, EQ, 3)
+	p.AddConstraint(map[Var]float64{y: 1}, GE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Objective, 4, 1e-6) {
+		t.Errorf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	p.AddConstraint(map[Var]float64{x: 1}, LE, 1)
+	p.AddConstraint(map[Var]float64{x: 1}, GE, 2)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", -1)
+	y := p.AddVar("y", 0)
+	p.AddConstraint(map[Var]float64{y: 1}, LE, 5)
+	_ = x
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x  s.t. -x <= -3  (i.e. x >= 3) => x=3.
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	p.AddConstraint(map[Var]float64{x: -1}, LE, -3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Value(x), 3, 1e-6) {
+		t.Errorf("x = %v, want 3", s.Value(x))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP that cycles under naive Dantzig pricing
+	// without anti-cycling (Beale's example, minimization form).
+	p := NewProblem()
+	x1 := p.AddVar("x1", -0.75)
+	x2 := p.AddVar("x2", 150)
+	x3 := p.AddVar("x3", -0.02)
+	x4 := p.AddVar("x4", 6)
+	p.AddConstraint(map[Var]float64{x1: 0.25, x2: -60, x3: -0.04, x4: 9}, LE, 0)
+	p.AddConstraint(map[Var]float64{x1: 0.5, x2: -90, x3: -0.02, x4: 3}, LE, 0)
+	p.AddConstraint(map[Var]float64{x3: 1}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Objective, -0.05, 1e-6) {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestMinimaxPattern(t *testing.T) {
+	// The paper's LPs minimize a bottleneck: min T s.t. T >= load_i.
+	// min T  s.t. T >= 3, T >= 7, T >= 5  => T=7.
+	p := NewProblem()
+	T := p.AddVar("T", 1)
+	for _, load := range []float64{3, 7, 5} {
+		p.AddConstraint(map[Var]float64{T: 1}, GE, load)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Value(T), 7, 1e-6) {
+		t.Errorf("T = %v, want 7", s.Value(T))
+	}
+}
+
+func TestTransportStyle(t *testing.T) {
+	// A small transportation problem exercising EQ rows with many vars:
+	// 2 sources (supply 3, 5), 2 sinks (demand 4, 4),
+	// costs: c11=1 c12=4 c21=2 c22=1 => ship 3 on 1->1, 1 on 2->1, 4 on
+	// 2->2: obj = 3*1 + 1*2 + 4*1 = 9.
+	p := NewProblem()
+	x := make([][]Var, 2)
+	costs := [][]float64{{1, 4}, {2, 1}}
+	for i := range x {
+		x[i] = make([]Var, 2)
+		for j := range x[i] {
+			x[i][j] = p.AddVar("x", costs[i][j])
+		}
+	}
+	supply := []float64{3, 5}
+	demand := []float64{4, 4}
+	for i, s := range supply {
+		p.AddConstraint(map[Var]float64{x[i][0]: 1, x[i][1]: 1}, EQ, s)
+	}
+	for j, d := range demand {
+		p.AddConstraint(map[Var]float64{x[0][j]: 1, x[1][j]: 1}, EQ, d)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Objective, 9, 1e-6) {
+		t.Errorf("objective = %v, want 9", s.Objective)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows leave an artificial basic at level zero;
+	// the solver must still produce the optimum.
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddConstraint(map[Var]float64{x: 1, y: 1}, EQ, 2)
+	p.AddConstraint(map[Var]float64{x: 1, y: 1}, EQ, 2)
+	p.AddConstraint(map[Var]float64{x: 2, y: 2}, EQ, 4)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Objective, 2, 1e-6) {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestZeroConstraintCoefficientsDropped(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 0)
+	p.AddConstraint(map[Var]float64{x: 1, y: 0}, GE, 5)
+	if got := len(p.rows[0].coefs); got != 1 {
+		t.Errorf("stored %d coefficients, want 1 (zero dropped)", got)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(s.Value(x), 5, 1e-6) {
+		t.Errorf("x = %v, want 5", s.Value(x))
+	}
+}
+
+func TestAddConstraintUnknownVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown variable")
+		}
+	}()
+	p := NewProblem()
+	p.AddConstraint(map[Var]float64{Var(3): 1}, LE, 1)
+}
+
+// feasible reports whether x satisfies all constraints of p within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, r := range p.rows {
+		lhs := 0.0
+		for v, c := range r.coefs {
+			lhs += c * x[v]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPropertyOptimalityVsRandomFeasible generates random bounded LPs,
+// solves them, and checks that (a) the solution is feasible and (b) no
+// randomly sampled feasible point has a strictly better objective.
+func TestPropertyOptimalityVsRandomFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4) // 2..5 vars
+		m := 1 + rng.Intn(4) // 1..4 LE rows
+		p := NewProblem()
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = p.AddVar("v", rng.Float64()*4-2)
+		}
+		// Box: every variable <= U keeps the LP bounded.
+		U := 1 + rng.Float64()*9
+		for _, v := range vars {
+			p.AddConstraint(map[Var]float64{v: 1}, LE, U)
+		}
+		for i := 0; i < m; i++ {
+			row := make(map[Var]float64)
+			for _, v := range vars {
+				row[v] = rng.Float64() // nonneg coefs, rhs > 0 => feasible at 0
+			}
+			p.AddConstraint(row, LE, 1+rng.Float64()*float64(n)*U)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Logf("seed %d: unexpected error %v", seed, err)
+			return false
+		}
+		if !feasible(p, s.X, 1e-6) {
+			t.Logf("seed %d: solution infeasible", seed)
+			return false
+		}
+		// Sample feasible points; none may beat the optimum.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.Float64() * U
+			}
+			if !feasible(p, x, 0) {
+				continue
+			}
+			obj := 0.0
+			for i := range x {
+				obj += p.obj[i] * x[i]
+			}
+			if obj < s.Objective-1e-6 {
+				t.Logf("seed %d: sampled point beats optimum (%v < %v)", seed, obj, s.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEqualityRowsHold verifies EQ rows are satisfied exactly on
+// random transportation-style problems (supply == demand).
+func TestPropertyEqualityRowsHold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := 2 + rng.Intn(3)
+		dst := 2 + rng.Intn(3)
+		p := NewProblem()
+		x := make([][]Var, src)
+		for i := range x {
+			x[i] = make([]Var, dst)
+			for j := range x[i] {
+				x[i][j] = p.AddVar("x", 0.1+rng.Float64()*5)
+			}
+		}
+		supply := make([]float64, src)
+		total := 0.0
+		for i := range supply {
+			supply[i] = 1 + rng.Float64()*10
+			total += supply[i]
+		}
+		demand := make([]float64, dst)
+		rem := total
+		for j := 0; j < dst-1; j++ {
+			demand[j] = rem * rng.Float64() / 2
+			rem -= demand[j]
+		}
+		demand[dst-1] = rem
+		for i := range supply {
+			row := make(map[Var]float64)
+			for j := range demand {
+				row[x[i][j]] = 1
+			}
+			p.AddConstraint(row, EQ, supply[i])
+		}
+		for j := range demand {
+			row := make(map[Var]float64)
+			for i := range supply {
+				row[x[i][j]] = 1
+			}
+			p.AddConstraint(row, EQ, demand[j])
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return feasible(p, s.X, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadlyScaledReduceLP is a regression test for the equilibration
+// pass: this is the paper's Fig. 3 reduce-placement LP stated in raw
+// bytes and bytes/sec, whose coefficients span ten orders of magnitude.
+// Without geometric-mean scaling the simplex terminated at an infeasible
+// point (Σr ≈ 3.7 against an equality of 1).
+func TestBadlyScaledReduceLP(t *testing.T) {
+	I := []float64{10e9, 15e9, 25e9}
+	up := []float64{5e9, 1e9, 2e9}
+	down := []float64{5e9, 1e9, 5e9}
+	S := []float64{40, 10, 20}
+	total := 50e9
+	p := NewProblem()
+	tS := p.AddVar("Tshufl", 1)
+	tR := p.AddVar("Tred", 1)
+	rv := make([]Var, 3)
+	for x := range rv {
+		rv[x] = p.AddVar("r", 0)
+	}
+	for x := 0; x < 3; x++ {
+		p.AddConstraint(map[Var]float64{rv[x]: -I[x], tS: -up[x]}, LE, -I[x])
+		p.AddConstraint(map[Var]float64{rv[x]: total - I[x], tS: -down[x]}, LE, 0)
+		p.AddConstraint(map[Var]float64{rv[x]: 500 / S[x], tR: -1}, LE, 0)
+	}
+	p.AddConstraint(map[Var]float64{rv[0]: 1, rv[1]: 1, rv[2]: 1}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: balanced waves r = (4/7, 1/7, 2/7), T_red = 50/7,
+	// T_shufl = 15·(6/7) = 90/7, objective 20.
+	if !almostEq(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	sum := sol.Value(rv[0]) + sol.Value(rv[1]) + sol.Value(rv[2])
+	if !almostEq(sum, 1, 1e-8) {
+		t.Errorf("Σr = %v, want 1", sum)
+	}
+	if !almostEq(sol.Value(rv[0]), 4.0/7, 1e-6) {
+		t.Errorf("r0 = %v, want 4/7", sol.Value(rv[0]))
+	}
+}
+
+// TestPropertySolutionFeasibleAfterScaling stresses the equilibration
+// path with randomly mis-scaled problems.
+func TestPropertySolutionFeasibleAfterScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := NewProblem()
+		vars := make([]Var, n)
+		scale := make([]float64, n)
+		for i := range vars {
+			scale[i] = math.Pow(10, float64(rng.Intn(13)-6))
+			vars[i] = p.AddVar("v", -rng.Float64()/scale[i])
+		}
+		for i := range vars {
+			p.AddConstraint(map[Var]float64{vars[i]: 1 / scale[i]}, LE, 1+rng.Float64()*9)
+		}
+		row := make(map[Var]float64)
+		rhs := 0.0
+		for i := range vars {
+			row[vars[i]] = rng.Float64() / scale[i]
+			rhs += row[vars[i]] * scale[i]
+		}
+		p.AddConstraint(row, EQ, rhs) // satisfiable at x_i = scale_i
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		return feasible(p, s.X, 1e-5*rhs+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[string]string{
+		Optimal.String():    "optimal",
+		Infeasible.String(): "infeasible",
+		Unbounded.String():  "unbounded",
+		LE.String():         "<=",
+		GE.String():         ">=",
+		EQ.String():         "==",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	// A placement-LP-shaped problem: ~50 sites, n² transfer variables.
+	build := func() *Problem {
+		rng := rand.New(rand.NewSource(1))
+		n := 20
+		p := NewProblem()
+		T := p.AddVar("T", 1)
+		m := make([][]Var, n)
+		for i := range m {
+			m[i] = make([]Var, n)
+			for j := range m[i] {
+				m[i][j] = p.AddVar("m", 0)
+			}
+		}
+		for i := 0; i < n; i++ {
+			row := make(map[Var]float64)
+			for j := 0; j < n; j++ {
+				row[m[i][j]] = 1
+			}
+			p.AddConstraint(row, EQ, rng.Float64())
+			up := make(map[Var]float64)
+			for j := 0; j < n; j++ {
+				if j != i {
+					up[m[i][j]] = 1 + rng.Float64()
+				}
+			}
+			up[T] = -1
+			p.AddConstraint(up, LE, 0)
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := build()
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics provides the statistics the evaluation reports:
+// average response time, slowdown, percentiles, CDFs, coefficient of
+// variation, and the "reduction vs baseline" percentages the paper's
+// figures are plotted in.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of v using
+// nearest-rank on a sorted copy. Empty input yields 0.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Median returns the 50th percentile.
+func Median(v []float64) float64 { return Percentile(v, 50) }
+
+// CV returns the coefficient of variation (stddev/mean), 0 when the
+// mean is 0.
+func CV(v []float64) float64 {
+	m := Mean(v)
+	if m == 0 || len(v) == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(v))) / m
+}
+
+// Reduction returns the percentage reduction of value relative to
+// baseline: 100·(baseline−value)/baseline. Positive means value is an
+// improvement (smaller). Zero baseline yields 0.
+func Reduction(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - value) / baseline
+}
+
+// Reductions applies Reduction pairwise.
+func Reductions(baseline, value []float64) []float64 {
+	out := make([]float64, len(value))
+	for i := range value {
+		out[i] = Reduction(baseline[i], value[i])
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical CDF of v (sorted ascending).
+func CDF(v []float64) []CDFPoint {
+	if len(v) == 0 {
+		return nil
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, x := range s {
+		out[i] = CDFPoint{X: x, P: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x: the fraction of samples ≤ x.
+func CDFAt(v []float64, x float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range v {
+		if s <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(v))
+}
+
+// Bucket assigns value to the first bucket whose upper bound it does not
+// exceed; bounds must be ascending and the return is the bucket index in
+// [0, len(bounds)] (the last index means "greater than every bound").
+// This is how Fig. 12 buckets jobs by ratio/skew/error.
+func Bucket(value float64, bounds []float64) int {
+	for i, b := range bounds {
+		if value < b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// GroupMeans buckets values by Bucket(keys[i], bounds) and returns the
+// mean of each bucket plus the fraction of samples per bucket — the two
+// bar series of each Fig. 12 panel.
+func GroupMeans(keys, values []float64, bounds []float64) (means, fractions []float64) {
+	n := len(bounds) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i := range keys {
+		b := Bucket(keys[i], bounds)
+		sums[b] += values[i]
+		counts[b]++
+	}
+	means = make([]float64, n)
+	fractions = make([]float64, n)
+	total := len(keys)
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			means[i] = sums[i] / float64(counts[i])
+		}
+		if total > 0 {
+			fractions[i] = float64(counts[i]) / float64(total)
+		}
+	}
+	return means, fractions
+}

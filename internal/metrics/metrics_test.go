@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {90, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(v, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	if Median(v) != 3 {
+		t.Error("Median != 3")
+	}
+}
+
+func TestCV(t *testing.T) {
+	if CV([]float64{2, 2, 2}) != 0 {
+		t.Error("CV of constant != 0")
+	}
+	if got := CV([]float64{1, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CV = %v, want 0.5", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 45); got != 55 {
+		t.Errorf("Reduction = %v, want 55", got)
+	}
+	if got := Reduction(0, 45); got != 0 {
+		t.Errorf("Reduction with zero baseline = %v, want 0", got)
+	}
+	if got := Reduction(50, 100); got != -100 {
+		t.Errorf("negative reduction = %v, want -100", got)
+	}
+	r := Reductions([]float64{10, 20}, []float64{5, 10})
+	if r[0] != 50 || r[1] != 50 {
+		t.Errorf("Reductions = %v", r)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Errorf("last point = %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) != nil")
+	}
+	if got := CDFAt([]float64{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Errorf("CDFAt = %v, want 0.5", got)
+	}
+	if CDFAt(nil, 1) != 0 {
+		t.Error("CDFAt(nil) != 0")
+	}
+}
+
+func TestBucket(t *testing.T) {
+	bounds := []float64{0.2, 0.5, 1.0}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.1, 0}, {0.2, 1}, {0.4, 1}, {0.9, 2}, {1.0, 3}, {5, 3},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.v, bounds); got != c.want {
+			t.Errorf("Bucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	keys := []float64{0.1, 0.3, 0.3, 2.0}
+	values := []float64{10, 20, 40, 70}
+	means, fracs := GroupMeans(keys, values, []float64{0.2, 0.5, 1.0})
+	if means[0] != 10 || means[1] != 30 || means[2] != 0 || means[3] != 70 {
+		t.Errorf("means = %v", means)
+	}
+	if fracs[0] != 0.25 || fracs[1] != 0.5 || fracs[2] != 0 || fracs[3] != 0.25 {
+		t.Errorf("fractions = %v", fracs)
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 1+rng.Intn(50))
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			x := Percentile(v, p)
+			if x < prev {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAtMatchesCDFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 1+rng.Intn(40))
+		for i := range v {
+			v[i] = rng.Float64() * 10
+		}
+		pts := CDF(v)
+		for _, pt := range pts {
+			if math.Abs(CDFAt(v, pt.X)-pt.P) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

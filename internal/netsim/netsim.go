@@ -1,0 +1,372 @@
+// Package netsim simulates WAN data transfers between geo-distributed
+// sites under the paper's network model (§2.1, §5): a congestion-free
+// core where each site's uplink and downlink are the only bottlenecks,
+// and available bandwidth is fairly shared among all concurrent flows at
+// a site. Transfers are fluid flows whose rates are the exact max-min
+// fair allocation; rates are recomputed whenever a flow starts or
+// finishes (progressive filling).
+//
+// Flows between the same (src, dst) pair always receive equal rates
+// under max-min fairness, so the allocator works on (src, dst) groups
+// weighted by flow count. That keeps the water-filling cost at
+// O(iterations × (links + groups)) rather than per-flow, which matters
+// when a shuffle stage has thousands of flows in flight.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlowID identifies a transfer within a Network.
+type FlowID int64
+
+// Flow is one WAN transfer in flight.
+type Flow struct {
+	ID        FlowID
+	Src, Dst  int
+	Remaining float64 // bytes left to transfer
+	Rate      float64 // current bytes/sec (max-min share)
+	Started   float64 // time AddFlow was called
+}
+
+type pairKey struct{ src, dst int }
+
+// Network tracks active flows and their max-min fair rates.
+type Network struct {
+	up, down []float64
+	now      float64
+	nextID   FlowID
+	flows    map[FlowID]*Flow
+	flowList []*Flow // iteration order for the hot per-event scans
+	groups   map[pairKey][]*Flow
+	dirty    bool // rates need recomputation
+
+	// Scratch buffers reused across recompute calls: rates are
+	// recomputed on every flow arrival/completion, so per-call
+	// allocation would dominate the simulation's profile.
+	scratchUp, scratchDown       []linkState
+	scratchGroups                []groupState
+	scratchUpIdx, scratchDownIdx [][]*groupState
+}
+
+type linkState struct {
+	cap    float64
+	weight int // unfixed flows crossing this link
+}
+
+type groupState struct {
+	key   pairKey
+	flows []*Flow
+	fixed bool
+}
+
+// New creates a network with the given per-site uplink and downlink
+// capacities in bytes/sec. The slices are copied.
+func New(up, down []float64) *Network {
+	if len(up) != len(down) {
+		panic("netsim: uplink/downlink length mismatch")
+	}
+	for i := range up {
+		if up[i] <= 0 || down[i] <= 0 {
+			panic(fmt.Sprintf("netsim: site %d has non-positive bandwidth", i))
+		}
+	}
+	u := make([]float64, len(up))
+	d := make([]float64, len(down))
+	copy(u, up)
+	copy(d, down)
+	return &Network{
+		up: u, down: d,
+		flows:  make(map[FlowID]*Flow),
+		groups: make(map[pairKey][]*Flow),
+	}
+}
+
+// Now returns the network's current simulated time.
+func (n *Network) Now() float64 { return n.now }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+const bytesEps = 1e-6 // a microbyte: transfers below this are complete
+
+// AddFlow starts a transfer of the given bytes from src to dst at the
+// current time and returns its ID. src must differ from dst (local reads
+// do not cross the WAN; the caller models them as instantaneous).
+// Transfers of <= 0 bytes are rejected for the same reason.
+func (n *Network) AddFlow(src, dst int, bytes float64) FlowID {
+	if src == dst {
+		panic("netsim: flow with src == dst (local data does not use the WAN)")
+	}
+	if src < 0 || src >= len(n.up) || dst < 0 || dst >= len(n.up) {
+		panic(fmt.Sprintf("netsim: flow endpoints (%d,%d) out of range", src, dst))
+	}
+	if bytes <= 0 {
+		panic("netsim: flow with non-positive bytes")
+	}
+	n.nextID++
+	f := &Flow{ID: n.nextID, Src: src, Dst: dst, Remaining: bytes, Started: n.now}
+	n.flows[f.ID] = f
+	n.flowList = append(n.flowList, f)
+	k := pairKey{src, dst}
+	n.groups[k] = append(n.groups[k], f)
+	n.dirty = true
+	return f.ID
+}
+
+// Advance moves simulated time forward to t, draining bytes from each
+// flow at its current rate. It panics if t precedes the current time.
+func (n *Network) Advance(t float64) {
+	if t < n.now-1e-9 {
+		panic(fmt.Sprintf("netsim: Advance to %v before now %v", t, n.now))
+	}
+	n.recompute()
+	dt := t - n.now
+	if dt > 0 {
+		for _, f := range n.flowList {
+			f.Remaining -= f.Rate * dt
+			// Clamp anything within a nanosecond of draining: float
+			// residue above an absolute epsilon would otherwise leave a
+			// flow "active" at a completion time equal to now, stalling
+			// event-driven callers.
+			if f.Remaining <= f.Rate*1e-9 {
+				f.Remaining = 0
+			}
+		}
+	}
+	n.now = t
+}
+
+// PopCompleted removes and returns all flows whose bytes are exhausted
+// at the current time. Callers should invoke it after Advance.
+func (n *Network) PopCompleted() []*Flow {
+	var done []*Flow
+	kept := n.flowList[:0]
+	for _, f := range n.flowList {
+		if f.Remaining > bytesEps {
+			kept = append(kept, f)
+			continue
+		}
+		done = append(done, f)
+		delete(n.flows, f.ID)
+		k := pairKey{f.Src, f.Dst}
+		g := n.groups[k]
+		for i, gf := range g {
+			if gf.ID == f.ID {
+				g[i] = g[len(g)-1]
+				n.groups[k] = g[:len(g)-1]
+				break
+			}
+		}
+		if len(n.groups[k]) == 0 {
+			delete(n.groups, k)
+		}
+	}
+	n.flowList = kept
+	if len(done) > 0 {
+		n.dirty = true
+		// Deterministic order for callers that iterate.
+		sortFlows(done)
+	}
+	return done
+}
+
+// NextCompletion returns the earliest time at which some flow finishes,
+// assuming no further flows are added. ok is false when no flows are
+// active.
+func (n *Network) NextCompletion() (t float64, ok bool) {
+	n.recompute()
+	best := math.Inf(1)
+	for _, f := range n.flowList {
+		if f.Rate <= 0 {
+			continue // starved flow: cannot finish until rates change
+		}
+		c := n.now + f.Remaining/f.Rate
+		if c < best {
+			best = c
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Rate returns the current rate of flow id, or 0 if unknown.
+func (n *Network) Rate(id FlowID) float64 {
+	n.recompute()
+	if f, ok := n.flows[id]; ok {
+		return f.Rate
+	}
+	return 0
+}
+
+// recompute runs grouped max-min water-filling over the active flows.
+func (n *Network) recompute() {
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+
+	nSites := len(n.up)
+	if n.scratchUp == nil {
+		n.scratchUp = make([]linkState, nSites)
+		n.scratchDown = make([]linkState, nSites)
+		n.scratchUpIdx = make([][]*groupState, nSites)
+		n.scratchDownIdx = make([][]*groupState, nSites)
+	}
+	upL, downL := n.scratchUp, n.scratchDown
+	for i := range upL {
+		upL[i] = linkState{cap: n.up[i]}
+		downL[i] = linkState{cap: n.down[i]}
+	}
+	upIdx, downIdx := n.scratchUpIdx, n.scratchDownIdx
+	for i := range upIdx {
+		upIdx[i] = upIdx[i][:0]
+		downIdx[i] = downIdx[i][:0]
+	}
+	if cap(n.scratchGroups) < len(n.groups) {
+		n.scratchGroups = make([]groupState, 0, 2*len(n.groups))
+	}
+	// Per-link group indices let each water-filling round touch only the
+	// bottleneck link's groups, so the total work is O(G + rounds·links)
+	// instead of O(rounds·G).
+	n.scratchGroups = n.scratchGroups[:0]
+	for k, fs := range n.groups {
+		if len(fs) == 0 {
+			continue
+		}
+		n.scratchGroups = append(n.scratchGroups, groupState{key: k, flows: fs})
+	}
+	for i := range n.scratchGroups {
+		g := &n.scratchGroups[i]
+		upL[g.key.src].weight += len(g.flows)
+		downL[g.key.dst].weight += len(g.flows)
+		upIdx[g.key.src] = append(upIdx[g.key.src], g)
+		downIdx[g.key.dst] = append(downIdx[g.key.dst], g)
+	}
+
+	fix := func(g *groupState, share float64) {
+		w := float64(len(g.flows))
+		for _, f := range g.flows {
+			f.Rate = share
+		}
+		upL[g.key.src].cap -= share * w
+		downL[g.key.dst].cap -= share * w
+		if upL[g.key.src].cap < 0 {
+			upL[g.key.src].cap = 0
+		}
+		if downL[g.key.dst].cap < 0 {
+			downL[g.key.dst].cap = 0
+		}
+		upL[g.key.src].weight -= len(g.flows)
+		downL[g.key.dst].weight -= len(g.flows)
+		g.fixed = true
+	}
+
+	remaining := len(n.scratchGroups)
+	for remaining > 0 {
+		// Find the most constrained link: min cap/weight.
+		bestShare := math.Inf(1)
+		bestLink, bestUp := -1, false
+		for i := range upL {
+			if upL[i].weight > 0 {
+				if s := upL[i].cap / float64(upL[i].weight); s < bestShare {
+					bestShare, bestLink, bestUp = s, i, true
+				}
+			}
+			if downL[i].weight > 0 {
+				if s := downL[i].cap / float64(downL[i].weight); s < bestShare {
+					bestShare, bestLink, bestUp = s, i, false
+				}
+			}
+		}
+		if bestLink == -1 {
+			break // no unfixed group crosses any link (cannot happen)
+		}
+		// Fix every unfixed group on the bottleneck link.
+		idx := downIdx[bestLink]
+		if bestUp {
+			idx = upIdx[bestLink]
+		}
+		fixed := 0
+		for _, g := range idx {
+			if !g.fixed {
+				fix(g, bestShare)
+				fixed++
+			}
+		}
+		remaining -= fixed
+		if fixed == 0 {
+			// Numerical safety valve: fix everything at bestShare.
+			for i := range n.scratchGroups {
+				if g := &n.scratchGroups[i]; !g.fixed {
+					fix(g, bestShare)
+					remaining--
+				}
+			}
+		}
+	}
+}
+
+// LinkLoad reports how many distinct (src,dst) transfer groups currently
+// traverse the site's uplink and downlink. Schedulers use this as the
+// §5-style available-bandwidth measurement: a new stage's transfers will
+// max-min share each link with the groups already on it, so its expected
+// share is roughly capacity/(1+groups).
+func (n *Network) LinkLoad(site int) (upGroups, downGroups int) {
+	for k, fs := range n.groups {
+		if len(fs) == 0 {
+			continue
+		}
+		if k.src == site {
+			upGroups++
+		}
+		if k.dst == site {
+			downGroups++
+		}
+	}
+	return upGroups, downGroups
+}
+
+// SetCapacity changes a site's uplink/downlink capacities at the current
+// time; in-flight flows immediately re-share under the new capacities.
+// Used to inject the resource drops of §4.2 / Fig. 11. Capacities must
+// stay positive.
+func (n *Network) SetCapacity(site int, up, down float64) {
+	if site < 0 || site >= len(n.up) {
+		panic("netsim: SetCapacity site out of range")
+	}
+	if up <= 0 || down <= 0 {
+		panic("netsim: SetCapacity with non-positive bandwidth")
+	}
+	// Materialize progress under the old rates before changing them.
+	n.Advance(n.now)
+	n.up[site] = up
+	n.down[site] = down
+	n.dirty = true
+}
+
+// Capacity reports a site's current uplink and downlink capacities.
+func (n *Network) Capacity(site int) (up, down float64) {
+	return n.up[site], n.down[site]
+}
+
+// TransferTime returns how long a single isolated transfer of the given
+// bytes would take between src and dst on an otherwise idle network —
+// bytes / min(up[src], down[dst]). A helper for analytic estimates.
+func (n *Network) TransferTime(src, dst int, bytes float64) float64 {
+	if src == dst || bytes <= 0 {
+		return 0
+	}
+	return bytes / math.Min(n.up[src], n.down[dst])
+}
+
+func sortFlows(fs []*Flow) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrium/internal/units"
+)
+
+func twoSite(upA, downA, upB, downB float64) *Network {
+	return New([]float64{upA, upB}, []float64{downA, downB})
+}
+
+func TestSingleFlow(t *testing.T) {
+	// 1 GB over a 100 MB/s bottleneck takes 10 s.
+	n := twoSite(100*units.MBps, 1*units.GBps, 1*units.GBps, 100*units.MBps)
+	id := n.AddFlow(0, 1, 1*units.GB)
+	if got := n.Rate(id); math.Abs(got-100*units.MBps) > 1 {
+		t.Fatalf("rate = %v, want 100 MB/s", got)
+	}
+	tc, ok := n.NextCompletion()
+	if !ok || math.Abs(tc-10) > 1e-9 {
+		t.Fatalf("NextCompletion = %v,%v, want 10", tc, ok)
+	}
+	n.Advance(tc)
+	done := n.PopCompleted()
+	if len(done) != 1 || done[0].ID != id {
+		t.Fatalf("PopCompleted = %v", done)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatal("flow still active after completion")
+	}
+}
+
+func TestUplinkSharing(t *testing.T) {
+	// Two flows out of site 0 (up 100 MB/s) to distinct sinks with fat
+	// downlinks share the uplink equally: 50 MB/s each.
+	n := New(
+		[]float64{100 * units.MBps, units.GBps, units.GBps},
+		[]float64{units.GBps, units.GBps, units.GBps},
+	)
+	a := n.AddFlow(0, 1, 100*units.MB)
+	b := n.AddFlow(0, 2, 200*units.MB)
+	if ra := n.Rate(a); math.Abs(ra-50*units.MBps) > 1 {
+		t.Fatalf("rate a = %v, want 50 MB/s", ra)
+	}
+	if rb := n.Rate(b); math.Abs(rb-50*units.MBps) > 1 {
+		t.Fatalf("rate b = %v, want 50 MB/s", rb)
+	}
+	// a finishes at t=2; then b gets the full 100 MB/s for its remaining
+	// 100 MB, finishing at t=3.
+	tc, _ := n.NextCompletion()
+	if math.Abs(tc-2) > 1e-9 {
+		t.Fatalf("first completion at %v, want 2", tc)
+	}
+	n.Advance(tc)
+	if got := n.PopCompleted(); len(got) != 1 || got[0].ID != a {
+		t.Fatalf("completed %v, want flow a", got)
+	}
+	tc2, _ := n.NextCompletion()
+	if math.Abs(tc2-3) > 1e-9 {
+		t.Fatalf("second completion at %v, want 3", tc2)
+	}
+}
+
+func TestMaxMinNotBottleneckedFlowGetsMore(t *testing.T) {
+	// Site 0 uplink 100 MB/s carries two flows; flow b's downlink at
+	// site 2 is only 30 MB/s. Max-min: b gets 30, a gets the rest (70).
+	n := New(
+		[]float64{100 * units.MBps, units.GBps, units.GBps},
+		[]float64{units.GBps, units.GBps, 30 * units.MBps},
+	)
+	a := n.AddFlow(0, 1, units.GB)
+	b := n.AddFlow(0, 2, units.GB)
+	if rb := n.Rate(b); math.Abs(rb-30*units.MBps) > 1 {
+		t.Fatalf("rate b = %v, want 30 MB/s", rb)
+	}
+	if ra := n.Rate(a); math.Abs(ra-70*units.MBps) > 1 {
+		t.Fatalf("rate a = %v, want 70 MB/s", ra)
+	}
+}
+
+func TestSamePairFlowsShareEqually(t *testing.T) {
+	n := twoSite(90*units.MBps, units.GBps, units.GBps, units.GBps)
+	ids := []FlowID{
+		n.AddFlow(0, 1, units.GB),
+		n.AddFlow(0, 1, units.GB),
+		n.AddFlow(0, 1, units.GB),
+	}
+	for _, id := range ids {
+		if r := n.Rate(id); math.Abs(r-30*units.MBps) > 1 {
+			t.Fatalf("rate = %v, want 30 MB/s", r)
+		}
+	}
+}
+
+func TestDownlinkBottleneck(t *testing.T) {
+	// Flows from two sources into one 60 MB/s downlink: 30 each.
+	n := New(
+		[]float64{units.GBps, units.GBps, units.GBps},
+		[]float64{units.GBps, units.GBps, 60 * units.MBps},
+	)
+	a := n.AddFlow(0, 2, units.GB)
+	b := n.AddFlow(1, 2, units.GB)
+	if ra, rb := n.Rate(a), n.Rate(b); math.Abs(ra-30*units.MBps) > 1 || math.Abs(rb-30*units.MBps) > 1 {
+		t.Fatalf("rates = %v, %v, want 30 each", ra, rb)
+	}
+}
+
+func TestSimultaneousCompletions(t *testing.T) {
+	n := New(
+		[]float64{100 * units.MBps, 100 * units.MBps, units.GBps},
+		[]float64{units.GBps, units.GBps, units.GBps},
+	)
+	n.AddFlow(0, 2, 100*units.MB)
+	n.AddFlow(1, 2, 100*units.MB)
+	tc, _ := n.NextCompletion()
+	n.Advance(tc)
+	if done := n.PopCompleted(); len(done) != 2 {
+		t.Fatalf("completed %d flows, want 2", len(done))
+	}
+}
+
+func TestPopCompletedOrderDeterministic(t *testing.T) {
+	n := New(
+		[]float64{100 * units.MBps, 100 * units.MBps, units.GBps},
+		[]float64{units.GBps, units.GBps, units.GBps},
+	)
+	a := n.AddFlow(0, 2, 100*units.MB)
+	b := n.AddFlow(1, 2, 100*units.MB)
+	tc, _ := n.NextCompletion()
+	n.Advance(tc)
+	done := n.PopCompleted()
+	if len(done) != 2 || done[0].ID != a || done[1].ID != b {
+		t.Fatalf("completion order not by ID: %v", done)
+	}
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	n := twoSite(1, 1, 1, 1)
+	n.Advance(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Advance(4)
+}
+
+func TestInvalidFlowsPanic(t *testing.T) {
+	n := twoSite(1, 1, 1, 1)
+	for _, fn := range []func(){
+		func() { n.AddFlow(0, 0, 10) },  // local
+		func() { n.AddFlow(0, 5, 10) },  // out of range
+		func() { n.AddFlow(-1, 1, 10) }, // out of range
+		func() { n.AddFlow(0, 1, 0) },   // zero bytes
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	New([]float64{0}, []float64{1})
+}
+
+func TestTransferTime(t *testing.T) {
+	n := twoSite(100*units.MBps, units.GBps, units.GBps, 50*units.MBps)
+	if got := n.TransferTime(0, 1, 100*units.MB); math.Abs(got-2) > 1e-9 {
+		t.Errorf("TransferTime = %v, want 2 (50 MB/s downlink bottleneck)", got)
+	}
+	if got := n.TransferTime(1, 1, 100*units.MB); got != 0 {
+		t.Errorf("local TransferTime = %v, want 0", got)
+	}
+}
+
+func TestNextCompletionEmpty(t *testing.T) {
+	n := twoSite(1, 1, 1, 1)
+	if _, ok := n.NextCompletion(); ok {
+		t.Fatal("NextCompletion ok on empty network")
+	}
+}
+
+// TestPropertyCapacityRespected checks that under random flow sets the
+// max-min allocation never exceeds any link capacity and is work
+// conserving (every link with demand is either saturated or all its
+// flows are bottlenecked elsewhere).
+func TestPropertyCapacityRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sites := 2 + rng.Intn(6)
+		up := make([]float64, sites)
+		down := make([]float64, sites)
+		for i := range up {
+			up[i] = (10 + rng.Float64()*990) * units.MBps
+			down[i] = (10 + rng.Float64()*990) * units.MBps
+		}
+		n := New(up, down)
+		flows := make([]FlowID, 0)
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			src := rng.Intn(sites)
+			dst := rng.Intn(sites)
+			if src == dst {
+				continue
+			}
+			flows = append(flows, n.AddFlow(src, dst, (1+rng.Float64()*999)*units.MB))
+		}
+		if len(flows) == 0 {
+			return true
+		}
+		upUse := make([]float64, sites)
+		downUse := make([]float64, sites)
+		minRate := math.Inf(1)
+		for _, id := range flows {
+			fl := n.flows[id]
+			r := n.Rate(id)
+			if r <= 0 {
+				return false // positive capacities must yield positive rates
+			}
+			if r < minRate {
+				minRate = r
+			}
+			upUse[fl.Src] += r
+			downUse[fl.Dst] += r
+		}
+		for i := range upUse {
+			if upUse[i] > up[i]*(1+1e-9) || downUse[i] > down[i]*(1+1e-9) {
+				return false
+			}
+		}
+		// Work conservation / max-min: every flow is limited by some
+		// saturated link.
+		for _, id := range flows {
+			fl := n.flows[id]
+			satUp := upUse[fl.Src] >= up[fl.Src]*(1-1e-6)
+			satDown := downUse[fl.Dst] >= down[fl.Dst]*(1-1e-6)
+			if !satUp && !satDown {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConservation: total bytes delivered over a run equals the
+// bytes of the completed flows, regardless of event interleaving.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New(
+			[]float64{100 * units.MBps, 200 * units.MBps, 50 * units.MBps},
+			[]float64{150 * units.MBps, 100 * units.MBps, 80 * units.MBps},
+		)
+		type rec struct {
+			id    FlowID
+			bytes float64
+		}
+		var pending []rec
+		add := func() {
+			src, dst := rng.Intn(3), rng.Intn(3)
+			if src == dst {
+				dst = (dst + 1) % 3
+			}
+			b := (1 + rng.Float64()*499) * units.MB
+			pending = append(pending, rec{n.AddFlow(src, dst, b), b})
+		}
+		for i := 0; i < 5; i++ {
+			add()
+		}
+		completed := make(map[FlowID]bool)
+		for steps := 0; steps < 200; steps++ {
+			tc, ok := n.NextCompletion()
+			if !ok {
+				break
+			}
+			n.Advance(tc)
+			for _, f := range n.PopCompleted() {
+				completed[f.ID] = true
+			}
+			if rng.Intn(3) == 0 && steps < 20 {
+				add()
+			}
+		}
+		for _, r := range pending {
+			if !completed[r.id] {
+				return false // everything must eventually drain
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecompute50Sites(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	up := make([]float64, 50)
+	down := make([]float64, 50)
+	for i := range up {
+		up[i] = (100 + rng.Float64()*1900) * units.Mbps
+		down[i] = (100 + rng.Float64()*1900) * units.Mbps
+	}
+	n := New(up, down)
+	for i := 0; i < 2000; i++ {
+		src, dst := rng.Intn(50), rng.Intn(50)
+		if src == dst {
+			continue
+		}
+		n.AddFlow(src, dst, units.GB)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.dirty = true
+		n.recompute()
+	}
+}
+
+func TestSetCapacity(t *testing.T) {
+	n := twoSite(100*units.MBps, units.GBps, units.GBps, 100*units.MBps)
+	id := n.AddFlow(0, 1, units.GB)
+	if r := n.Rate(id); math.Abs(r-100*units.MBps) > 1 {
+		t.Fatalf("initial rate = %v", r)
+	}
+	// Halve the uplink mid-flight; the flow re-shares immediately.
+	n.Advance(5) // 500 MB delivered
+	n.SetCapacity(0, 50*units.MBps, units.GBps)
+	if r := n.Rate(id); math.Abs(r-50*units.MBps) > 1 {
+		t.Fatalf("rate after drop = %v, want 50 MB/s", r)
+	}
+	// Remaining 500 MB at 50 MB/s: completes at t=15.
+	tc, ok := n.NextCompletion()
+	if !ok || math.Abs(tc-15) > 1e-6 {
+		t.Fatalf("completion = %v, want 15", tc)
+	}
+	up, down := n.Capacity(0)
+	if up != 50*units.MBps || down != units.GBps {
+		t.Errorf("Capacity = %v,%v", up, down)
+	}
+}
+
+func TestSetCapacityValidation(t *testing.T) {
+	n := twoSite(1, 1, 1, 1)
+	for _, fn := range []func(){
+		func() { n.SetCapacity(5, 1, 1) },
+		func() { n.SetCapacity(0, 0, 1) },
+		func() { n.SetCapacity(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinkLoad(t *testing.T) {
+	n := New(
+		[]float64{units.GBps, units.GBps, units.GBps},
+		[]float64{units.GBps, units.GBps, units.GBps},
+	)
+	if up, down := n.LinkLoad(0); up != 0 || down != 0 {
+		t.Fatalf("idle load = %d,%d", up, down)
+	}
+	n.AddFlow(0, 1, units.GB)
+	n.AddFlow(0, 2, units.GB)
+	n.AddFlow(0, 2, units.GB) // same group as previous
+	n.AddFlow(1, 0, units.GB)
+	up, down := n.LinkLoad(0)
+	if up != 2 {
+		t.Errorf("up groups at 0 = %d, want 2 (0->1 and 0->2)", up)
+	}
+	if down != 1 {
+		t.Errorf("down groups at 0 = %d, want 1 (1->0)", down)
+	}
+}

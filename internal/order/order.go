@@ -1,0 +1,159 @@
+// Package order implements task ordering within a stage (§3.3): when a
+// stage runs in multiple waves, which tasks launch first determines the
+// job's response time. The paper's rule is to start long-duration tasks
+// first: for map stages the remote tasks (fetch time dominated by the
+// source's constrained uplink), spread across source sites to reduce
+// network contention; for reduce stages the tasks with the most input
+// data. The alternative strategies of Fig. 9 (Local-First, Random) are
+// implemented for the ablation.
+package order
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// MapStrategy selects the map-stage ordering rule.
+type MapStrategy int
+
+// Map-stage orderings (Fig. 9).
+const (
+	// RemoteFirstSpread launches remote tasks first, most-constrained
+	// source first, interleaving sources round-robin (§3.3).
+	RemoteFirstSpread MapStrategy = iota
+	// LocalFirst launches tasks local to the slot's site first.
+	LocalFirst
+)
+
+func (s MapStrategy) String() string {
+	if s == RemoteFirstSpread {
+		return "remote-first"
+	}
+	return "local-first"
+}
+
+// ReduceStrategy selects the reduce-stage ordering rule.
+type ReduceStrategy int
+
+// Reduce-stage orderings (Fig. 9).
+const (
+	// LongestFirst launches the reduce task with the largest input (and
+	// hence longest transfer) first (§3.3).
+	LongestFirst ReduceStrategy = iota
+	// RandomOrder picks arbitrarily.
+	RandomOrder
+)
+
+func (s ReduceStrategy) String() string {
+	if s == LongestFirst {
+		return "longest-first"
+	}
+	return "random"
+}
+
+// MapTask describes a pending map task for ordering purposes.
+type MapTask struct {
+	Idx     int     // caller's identifier, returned in the ordering
+	Src     int     // site holding the task's input partition
+	Dst     int     // site the task will run at
+	Bytes   float64 // input bytes
+	SrcUpBW float64 // uplink bandwidth of Src (fetch bottleneck proxy)
+}
+
+// OrderMap returns the launch order (as Idx values) for a set of map
+// tasks destined to the same site.
+func OrderMap(tasks []MapTask, strat MapStrategy) []int {
+	remote := make([]MapTask, 0, len(tasks))
+	local := make([]MapTask, 0, len(tasks))
+	for _, t := range tasks {
+		if t.Src == t.Dst {
+			local = append(local, t)
+		} else {
+			remote = append(remote, t)
+		}
+	}
+	// Remote tasks: group by source, sources ordered by descending fetch
+	// time (bytes over the source's uplink), then drained round-robin to
+	// spread load across source uplinks (§3.3).
+	bySrc := make(map[int][]MapTask)
+	srcs := make([]int, 0)
+	for _, t := range remote {
+		if _, ok := bySrc[t.Src]; !ok {
+			srcs = append(srcs, t.Src)
+		}
+		bySrc[t.Src] = append(bySrc[t.Src], t)
+	}
+	fetch := func(t MapTask) float64 {
+		if t.SrcUpBW <= 0 {
+			return 0
+		}
+		return t.Bytes / t.SrcUpBW
+	}
+	sort.SliceStable(srcs, func(a, b int) bool {
+		fa, fb := 0.0, 0.0
+		if len(bySrc[srcs[a]]) > 0 {
+			fa = fetch(bySrc[srcs[a]][0])
+		}
+		if len(bySrc[srcs[b]]) > 0 {
+			fb = fetch(bySrc[srcs[b]][0])
+		}
+		if fa != fb {
+			return fa > fb
+		}
+		return srcs[a] < srcs[b]
+	})
+	// Within a source, largest task first.
+	for _, s := range srcs {
+		g := bySrc[s]
+		sort.SliceStable(g, func(a, b int) bool { return g[a].Bytes > g[b].Bytes })
+		bySrc[s] = g
+	}
+	remoteOrder := make([]int, 0, len(remote))
+	for len(remoteOrder) < len(remote) {
+		for _, s := range srcs {
+			if g := bySrc[s]; len(g) > 0 {
+				remoteOrder = append(remoteOrder, g[0].Idx)
+				bySrc[s] = g[1:]
+			}
+		}
+	}
+
+	localOrder := make([]int, len(local))
+	for i, t := range local {
+		localOrder[i] = t.Idx
+	}
+
+	switch strat {
+	case LocalFirst:
+		return append(localOrder, remoteOrder...)
+	default:
+		return append(remoteOrder, localOrder...)
+	}
+}
+
+// ReduceTask describes a pending reduce task for ordering purposes.
+type ReduceTask struct {
+	Idx   int
+	Bytes float64 // total input bytes (shuffle volume)
+}
+
+// OrderReduce returns the launch order (as Idx values) for reduce tasks.
+// rng is used only by RandomOrder and may be nil for LongestFirst.
+func OrderReduce(tasks []ReduceTask, strat ReduceStrategy, rng *rand.Rand) []int {
+	out := make([]int, len(tasks))
+	switch strat {
+	case RandomOrder:
+		perm := rng.Perm(len(tasks))
+		for i, p := range perm {
+			out[i] = tasks[p].Idx
+		}
+	default:
+		sorted := make([]ReduceTask, len(tasks))
+		copy(sorted, tasks)
+		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Bytes > sorted[b].Bytes })
+		for i, t := range sorted {
+			out[i] = t.Idx
+		}
+	}
+	return out
+}

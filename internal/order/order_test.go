@@ -1,0 +1,147 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderMapRemoteFirst(t *testing.T) {
+	tasks := []MapTask{
+		{Idx: 0, Src: 1, Dst: 1, Bytes: 100},               // local
+		{Idx: 1, Src: 0, Dst: 1, Bytes: 100, SrcUpBW: 10},  // remote, slow uplink
+		{Idx: 2, Src: 2, Dst: 1, Bytes: 100, SrcUpBW: 100}, // remote, fast uplink
+	}
+	got := OrderMap(tasks, RemoteFirstSpread)
+	if len(got) != 3 {
+		t.Fatalf("got %d tasks", len(got))
+	}
+	// Remote tasks precede the local one; the slow-uplink source first.
+	if got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", got)
+	}
+}
+
+func TestOrderMapLocalFirst(t *testing.T) {
+	tasks := []MapTask{
+		{Idx: 0, Src: 0, Dst: 1, Bytes: 100, SrcUpBW: 10},
+		{Idx: 1, Src: 1, Dst: 1, Bytes: 100},
+	}
+	got := OrderMap(tasks, LocalFirst)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("order = %v, want [1 0]", got)
+	}
+}
+
+func TestOrderMapSpreadsAcrossSources(t *testing.T) {
+	// Two remote sources with two tasks each: the order must alternate
+	// sources (round-robin), not drain one source fully first.
+	tasks := []MapTask{
+		{Idx: 0, Src: 0, Dst: 2, Bytes: 100, SrcUpBW: 10},
+		{Idx: 1, Src: 0, Dst: 2, Bytes: 100, SrcUpBW: 10},
+		{Idx: 2, Src: 1, Dst: 2, Bytes: 100, SrcUpBW: 20},
+		{Idx: 3, Src: 1, Dst: 2, Bytes: 100, SrcUpBW: 20},
+	}
+	got := OrderMap(tasks, RemoteFirstSpread)
+	// Source 0 is more constrained (10 < 20) so it leads, then alternate.
+	want := []int{0, 2, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderMapLargestTaskFirstWithinSource(t *testing.T) {
+	tasks := []MapTask{
+		{Idx: 0, Src: 0, Dst: 1, Bytes: 50, SrcUpBW: 10},
+		{Idx: 1, Src: 0, Dst: 1, Bytes: 200, SrcUpBW: 10},
+	}
+	got := OrderMap(tasks, RemoteFirstSpread)
+	if got[0] != 1 {
+		t.Errorf("order = %v, want largest (idx 1) first", got)
+	}
+}
+
+func TestOrderReduceLongestFirst(t *testing.T) {
+	tasks := []ReduceTask{
+		{Idx: 0, Bytes: 10},
+		{Idx: 1, Bytes: 30},
+		{Idx: 2, Bytes: 20},
+	}
+	got := OrderReduce(tasks, LongestFirst, nil)
+	if got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", got)
+	}
+}
+
+func TestOrderReduceRandomIsPermutation(t *testing.T) {
+	tasks := make([]ReduceTask, 20)
+	for i := range tasks {
+		tasks[i] = ReduceTask{Idx: i, Bytes: float64(i)}
+	}
+	got := OrderReduce(tasks, RandomOrder, rand.New(rand.NewSource(1)))
+	seen := make(map[int]bool)
+	for _, idx := range got {
+		if seen[idx] {
+			t.Fatalf("duplicate idx %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("not a permutation: %v", got)
+	}
+}
+
+func TestOrderMapPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		sites := 2 + rng.Intn(5)
+		tasks := make([]MapTask, n)
+		for i := range tasks {
+			tasks[i] = MapTask{
+				Idx:     i,
+				Src:     rng.Intn(sites),
+				Dst:     rng.Intn(sites),
+				Bytes:   rng.Float64() * 1000,
+				SrcUpBW: 1 + rng.Float64()*100,
+			}
+		}
+		for _, strat := range []MapStrategy{RemoteFirstSpread, LocalFirst} {
+			got := OrderMap(tasks, strat)
+			if len(got) != n {
+				return false
+			}
+			seen := make(map[int]bool, n)
+			for _, idx := range got {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if RemoteFirstSpread.String() != "remote-first" || LocalFirst.String() != "local-first" {
+		t.Error("MapStrategy strings wrong")
+	}
+	if LongestFirst.String() != "longest-first" || RandomOrder.String() != "random" {
+		t.Error("ReduceStrategy strings wrong")
+	}
+}
+
+func TestOrderMapEmpty(t *testing.T) {
+	if got := OrderMap(nil, RemoteFirstSpread); len(got) != 0 {
+		t.Errorf("OrderMap(nil) = %v", got)
+	}
+	if got := OrderReduce(nil, LongestFirst, nil); len(got) != 0 {
+		t.Errorf("OrderReduce(nil) = %v", got)
+	}
+}

@@ -1,0 +1,874 @@
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"tetrium/internal/lp"
+)
+
+// Tetrium is the paper's compute- and network-aware placer (§3). For a
+// map stage it solves the LP of §3.1 over task fractions m_{x,y}; for a
+// reduce stage the LP of §3.2 over fractions r_x. Both jointly minimize
+// the stage's network transfer time and its multi-wave computation time
+// under the heterogeneous per-site slot counts and up/downlink
+// bandwidths. An optional WAN budget (§4.3) constrains the bytes moved.
+//
+// The zero value is ready to use and solves the exact LP of the paper.
+type Tetrium struct {
+	// MaxDest, when positive, restricts each partition's candidate
+	// destinations to its own site plus the MaxDest sites with the most
+	// slots and the MaxDest/2 sites with the fattest downlinks. The full
+	// map LP has n² variables; at the paper's 50-site simulation scale
+	// that is a ~200 ms solve per decision (comparable to the ~100 ms
+	// the paper reports for Gurobi, Fig. 7) — the restriction brings it
+	// to a few ms. Work never benefits from moving to a slot- and
+	// bandwidth-poor site, so the dropped columns are (near-)always zero
+	// in the unrestricted optimum. Zero means no restriction.
+	MaxDest int
+}
+
+// Name implements Placer.
+func (Tetrium) Name() string { return "tetrium" }
+
+// PlaceMap solves the map-task placement LP (§3.1):
+//
+//	min  T_aggr + T_map
+//	s.t. I·Σ_{y≠x} m_{x,y} ≤ T_aggr·B_up_x     ∀x   (Eq. 2)
+//	     I·Σ_{y≠x} m_{y,x} ≤ T_aggr·B_down_x   ∀x   (Eq. 3)
+//	     t_map·n_map·Σ_y m_{y,x} / S_x ≤ T_map ∀x   (Eq. 4)
+//	     Σ_y m_{x,y} = I_x/I, m ≥ 0            ∀x   (Eq. 5)
+//	     I·Σ_x Σ_{y≠x} m_{x,y} ≤ W                  (§4.3)
+func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
+	if err := res.validate(); err != nil {
+		return MapPlacement{}, err
+	}
+	n := res.N()
+	if len(req.InputBySite) != n {
+		return MapPlacement{}, fmt.Errorf("place: input vector has %d sites, resources have %d", len(req.InputBySite), n)
+	}
+	if req.NumTasks <= 0 {
+		return MapPlacement{}, fmt.Errorf("place: map request with %d tasks", req.NumTasks)
+	}
+	total := req.TotalInput()
+	if total <= 0 {
+		// No data to read: pure computation; balance tasks over slots.
+		frac := uniformOverSlots(res.Slots)
+		m := make([][]float64, n)
+		for x := range m {
+			m[x] = make([]float64, n)
+		}
+		// Attribute all (zero-byte) partitions to site 0 for bookkeeping.
+		copy(m[0], frac)
+		return finishMap(res, req, m, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
+	}
+
+	destOK := t.candidateDests(res)
+	hasData := make([]bool, n)
+	for x := 0; x < n; x++ {
+		hasData[x] = req.InputBySite[x] > 0
+	}
+	exists := func(x, y int) bool {
+		return hasData[x] && (destOK[y] || y == x)
+	}
+
+	prob := lp.NewProblem()
+	tAggr := prob.AddVar("Taggr", 1)
+	tMap := prob.AddVar("Tmap", 1)
+
+	// m[x][y] exists only when site x holds data and y is a candidate
+	// destination — this shrinks the LP substantially at 50-site scale.
+	mv := make([][]lp.Var, n)
+	for x := 0; x < n; x++ {
+		if !hasData[x] {
+			continue
+		}
+		mv[x] = make([]lp.Var, n)
+		for y := 0; y < n; y++ {
+			mv[x][y] = -1
+			if exists(x, y) {
+				mv[x][y] = prob.AddVar(fmt.Sprintf("m_%d_%d", x, y), 0)
+			}
+		}
+	}
+
+	// Eq. 2: upload at each data-holding site.
+	for x := 0; x < n; x++ {
+		if !hasData[x] {
+			continue
+		}
+		row := map[lp.Var]float64{tAggr: -res.UpBW[x]}
+		for y := 0; y < n; y++ {
+			if y != x && exists(x, y) {
+				row[mv[x][y]] = total
+			}
+		}
+		prob.AddConstraint(row, lp.LE, 0)
+	}
+	// Eq. 3: download at each potential destination.
+	for y := 0; y < n; y++ {
+		row := map[lp.Var]float64{tAggr: -res.DownBW[y]}
+		any := false
+		for x := 0; x < n; x++ {
+			if x != y && exists(x, y) {
+				row[mv[x][y]] = total
+				any = true
+			}
+		}
+		if any {
+			prob.AddConstraint(row, lp.LE, 0)
+		}
+	}
+	// Eq. 4: computation (multi-wave, fractional) at each destination.
+	for y := 0; y < n; y++ {
+		row := map[lp.Var]float64{tMap: -1}
+		any := false
+		for x := 0; x < n; x++ {
+			if exists(x, y) {
+				row[mv[x][y]] = req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[y])
+				any = true
+			}
+		}
+		if any {
+			prob.AddConstraint(row, lp.LE, 0)
+		}
+		if res.Slots[y] == 0 {
+			// No slots: forbid placement here outright.
+			zero := map[lp.Var]float64{}
+			for x := 0; x < n; x++ {
+				if exists(x, y) {
+					zero[mv[x][y]] = 1
+				}
+			}
+			if len(zero) > 0 {
+				prob.AddConstraint(zero, lp.EQ, 0)
+			}
+		}
+	}
+	// Eq. 5: partition conservation.
+	for x := 0; x < n; x++ {
+		if !hasData[x] {
+			continue
+		}
+		row := map[lp.Var]float64{}
+		for y := 0; y < n; y++ {
+			if exists(x, y) {
+				row[mv[x][y]] = 1
+			}
+		}
+		prob.AddConstraint(row, lp.EQ, req.InputBySite[x]/total)
+	}
+	// WAN budget (§4.3).
+	if req.WANBudget >= 0 {
+		row := map[lp.Var]float64{}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if y != x && exists(x, y) {
+					row[mv[x][y]] = total
+				}
+			}
+		}
+		if len(row) > 0 {
+			prob.AddConstraint(row, lp.LE, req.WANBudget)
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		// Defensive fallback: leave data in place (always feasible when
+		// every data site has slots); otherwise spread over slots.
+		return fallbackMap(res, req), nil
+	}
+	m := make([][]float64, n)
+	for x := range m {
+		m[x] = make([]float64, n)
+		if !hasData[x] {
+			continue
+		}
+		for y := 0; y < n; y++ {
+			if !exists(x, y) {
+				continue
+			}
+			if v := sol.Value(mv[x][y]); v > 1e-12 {
+				m[x][y] = v
+			}
+		}
+	}
+	return refineMap(res, req, m), nil
+}
+
+// refineMap repairs the LP's continuous-wave approximation. Eq. 4 models
+// computation time as a *fraction* of a wave, so with plentiful slots
+// the LP happily pays real transfer seconds to shave phantom fractions
+// of a wave that rounding then erases (the §3.1 rounding caveat cuts
+// both ways on small stages). The repair evaluates placements that move
+// α ∈ {1, ¾, ½, ¼, 0} of the LP's off-diagonal mass — α = 0 being pure
+// locality — under the integral ⌈tasks/slots⌉ wave model and keeps the
+// best, so the returned estimate is also the sharper ceil-based one.
+func refineMap(res Resources, req MapRequest, lpFrac [][]float64) MapPlacement {
+	n := res.N()
+	best := MapPlacement{}
+	bestEst := math.Inf(1)
+	for _, alpha := range []float64{1, 0.75, 0.5, 0.25, 0} {
+		m := make([][]float64, n)
+		for x := 0; x < n; x++ {
+			m[x] = make([]float64, n)
+			moved := 0.0
+			for y := 0; y < n; y++ {
+				if y == x {
+					continue
+				}
+				v := lpFrac[x][y] * alpha
+				m[x][y] = v
+				moved += lpFrac[x][y] - v
+			}
+			m[x][x] = lpFrac[x][x] + moved
+		}
+		tasks := apportionMatrix(m, req.NumTasks)
+		// Zero-slot sites cannot absorb returned tasks; the LP already
+		// forbids them as destinations, and the diagonal return target
+		// may be slotless — skip such candidates.
+		if alpha < 1 && violatesZeroSlots(res, tasks) {
+			continue
+		}
+		tAggr, tMap := ceilMapTimes(res, req, tasks)
+		if req.WANBudget >= 0 {
+			p := MapPlacement{Frac: m}
+			if p.WANBytes(req.InputBySite) > req.WANBudget*(1+1e-9) {
+				continue
+			}
+		}
+		if est := tAggr + tMap + mapDrainCost(res, req, tasks); est < bestEst {
+			bestEst = est
+			best = MapPlacement{Frac: m, Tasks: tasks, TAggr: tAggr, TMap: tMap}
+		}
+	}
+	if math.IsInf(bestEst, 1) {
+		// Every candidate was rejected (pathological zero-slot layout):
+		// keep the raw LP solution.
+		tasks := apportionMatrix(lpFrac, req.NumTasks)
+		tAggr, tMap := ceilMapTimes(res, req, tasks)
+		return MapPlacement{Frac: lpFrac, Tasks: tasks, TAggr: tAggr, TMap: tMap}
+	}
+	return best
+}
+
+func violatesZeroSlots(res Resources, tasks [][]int) bool {
+	for x := range tasks {
+		for y, c := range tasks[x] {
+			if c > 0 && res.Slots[y] == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mapDrainCost is the one-step lookahead of MapRequest.OutputBytes: the
+// bottleneck time to export this stage's output from where its tasks
+// ran. Zero for terminal stages.
+func mapDrainCost(res Resources, req MapRequest, tasks [][]int) float64 {
+	if req.OutputBytes <= 0 || req.NumTasks == 0 {
+		return 0
+	}
+	n := res.N()
+	at := make([]int, n)
+	for x := range tasks {
+		for y, c := range tasks[x] {
+			at[y] += c
+		}
+	}
+	worst := 0.0
+	for y := 0; y < n; y++ {
+		if at[y] == 0 || res.UpBW[y] <= 0 {
+			continue
+		}
+		out := req.OutputBytes * float64(at[y]) / float64(req.NumTasks)
+		worst = math.Max(worst, out/res.UpBW[y])
+	}
+	return worst
+}
+
+// reduceDrainCost is mapDrainCost's counterpart for reduce placements.
+func reduceDrainCost(res Resources, req ReduceRequest, tasks []int) float64 {
+	if req.OutputBytes <= 0 || req.NumTasks == 0 {
+		return 0
+	}
+	worst := 0.0
+	for x, c := range tasks {
+		if c == 0 || res.UpBW[x] <= 0 {
+			continue
+		}
+		out := req.OutputBytes * float64(c) / float64(req.NumTasks)
+		worst = math.Max(worst, out/res.UpBW[x])
+	}
+	return worst
+}
+
+// ceilMapTimes evaluates a rounded map placement under the paper's
+// integral arithmetic: bottleneck up/down transfer plus ⌈M_x/S_x⌉ waves.
+func ceilMapTimes(res Resources, req MapRequest, tasks [][]int) (tAggr, tMap float64) {
+	n := res.N()
+	bpt := 0.0
+	if req.NumTasks > 0 {
+		bpt = req.TotalInput() / float64(req.NumTasks)
+	}
+	for x := 0; x < n; x++ {
+		var up, down, at int
+		for y := 0; y < n; y++ {
+			if y != x {
+				up += tasks[x][y]
+				down += tasks[y][x]
+			}
+			at += tasks[y][x]
+		}
+		if up > 0 && res.UpBW[x] > 0 {
+			tAggr = math.Max(tAggr, float64(up)*bpt/res.UpBW[x])
+		}
+		if down > 0 && res.DownBW[x] > 0 {
+			tAggr = math.Max(tAggr, float64(down)*bpt/res.DownBW[x])
+		}
+		if at > 0 {
+			waves := math.Ceil(float64(at) / slotCap(res.Slots[x]))
+			tMap = math.Max(tMap, req.TaskCompute*waves)
+		}
+	}
+	return tAggr, tMap
+}
+
+// candidateDests marks the sites considered as map-task destinations:
+// all of them by default, or — when MaxDest is set — the slot-richest
+// MaxDest sites plus the MaxDest/2 with the fattest downlinks (every
+// partition may additionally stay home; see exists()).
+func (t Tetrium) candidateDests(res Resources) []bool {
+	n := res.N()
+	ok := make([]bool, n)
+	if t.MaxDest <= 0 || t.MaxDest >= n {
+		for i := range ok {
+			ok[i] = true
+		}
+		return ok
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	bySlots := make([]int, n)
+	copy(bySlots, idx)
+	sortBy(bySlots, func(a, b int) bool {
+		if res.Slots[a] != res.Slots[b] {
+			return res.Slots[a] > res.Slots[b]
+		}
+		return a < b
+	})
+	for i := 0; i < t.MaxDest && i < n; i++ {
+		ok[bySlots[i]] = true
+	}
+	byDown := make([]int, n)
+	copy(byDown, idx)
+	sortBy(byDown, func(a, b int) bool {
+		if res.DownBW[a] != res.DownBW[b] {
+			return res.DownBW[a] > res.DownBW[b]
+		}
+		return a < b
+	})
+	for i := 0; i < t.MaxDest/2 && i < n; i++ {
+		ok[byDown[i]] = true
+	}
+	return ok
+}
+
+// sortBy is an insertion sort over idx with a custom less, avoiding a
+// sort.Slice closure allocation in this hot path for small n.
+func sortBy(idx []int, less func(a, b int) bool) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// PlaceReduce solves the reduce-task placement LP (§3.2):
+//
+//	min  T_shufl + T_red
+//	s.t. I_x·(1−r_x) ≤ T_shufl·B_up_x            ∀x  (Eq. 7)
+//	     (Σ_{y≠x} I_y)·r_x ≤ T_shufl·B_down_x    ∀x  (Eq. 8)
+//	     t_red·n_red·r_x / S_x ≤ T_red           ∀x  (Eq. 9)
+//	     Σ_x r_x = 1, r ≥ 0                          (Eq. 10)
+//	     Σ_x I_x·(1−r_x) ≤ W                         (§4.3)
+func (Tetrium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
+	return solveReduce(res, req, true)
+}
+
+// solveReduce implements both Tetrium's reduce LP and — with
+// includeCompute=false — Iridium's shuffle-only variant (§3.2: "The key
+// difference is that we extend the model to jointly minimize the time
+// spent in network transfer and in computation").
+func solveReduce(res Resources, req ReduceRequest, includeCompute bool) (ReducePlacement, error) {
+	if err := res.validate(); err != nil {
+		return ReducePlacement{}, err
+	}
+	n := res.N()
+	if len(req.InterBySite) != n {
+		return ReducePlacement{}, fmt.Errorf("place: intermediate vector has %d sites, resources have %d", len(req.InterBySite), n)
+	}
+	if req.NumTasks <= 0 {
+		return ReducePlacement{}, fmt.Errorf("place: reduce request with %d tasks", req.NumTasks)
+	}
+	total := req.TotalInter()
+	if total <= 0 {
+		frac := uniformOverSlots(res.Slots)
+		return finishReduce(res, req, frac, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
+	}
+
+	prob := lp.NewProblem()
+	tShufl := prob.AddVar("Tshufl", 1)
+	var tRed lp.Var
+	if includeCompute {
+		tRed = prob.AddVar("Tred", 1)
+	}
+	rv := make([]lp.Var, n)
+	for x := 0; x < n; x++ {
+		rv[x] = prob.AddVar(fmt.Sprintf("r_%d", x), 0)
+	}
+
+	for x := 0; x < n; x++ {
+		// Eq. 7 upload: I_x − I_x·r_x ≤ T_shufl·B_up_x.
+		if req.InterBySite[x] > 0 {
+			prob.AddConstraint(map[lp.Var]float64{
+				rv[x]:  -req.InterBySite[x],
+				tShufl: -res.UpBW[x],
+			}, lp.LE, -req.InterBySite[x])
+		}
+		// Eq. 8 download.
+		others := total - req.InterBySite[x]
+		if others > 0 {
+			prob.AddConstraint(map[lp.Var]float64{
+				rv[x]:  others,
+				tShufl: -res.DownBW[x],
+			}, lp.LE, 0)
+		}
+		// Eq. 9 computation.
+		if includeCompute {
+			prob.AddConstraint(map[lp.Var]float64{
+				rv[x]: req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[x]),
+				tRed:  -1,
+			}, lp.LE, 0)
+		}
+		if res.Slots[x] == 0 {
+			prob.AddConstraint(map[lp.Var]float64{rv[x]: 1}, lp.EQ, 0)
+		}
+	}
+	// Eq. 10.
+	sum := map[lp.Var]float64{}
+	for x := 0; x < n; x++ {
+		sum[rv[x]] = 1
+	}
+	prob.AddConstraint(sum, lp.EQ, 1)
+	// WAN budget: Σ I_x(1−r_x) ≤ W  ⇔  −Σ I_x·r_x ≤ W − ΣI.
+	if req.WANBudget >= 0 {
+		row := map[lp.Var]float64{}
+		for x := 0; x < n; x++ {
+			if req.InterBySite[x] > 0 {
+				row[rv[x]] = -req.InterBySite[x]
+			}
+		}
+		prob.AddConstraint(row, lp.LE, req.WANBudget-total)
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return fallbackReduce(res, req), nil
+	}
+	frac := make([]float64, n)
+	for x := 0; x < n; x++ {
+		if v := sol.Value(rv[x]); v > 1e-12 {
+			frac[x] = v
+		}
+	}
+	if !includeCompute {
+		// Iridium's shuffle-only variant keeps the raw LP optimum (its
+		// whole point is to ignore the compute dimension).
+		tr := computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)
+		return finishReduce(res, req, frac, sol.Value(tShufl), tr), nil
+	}
+	return refineReduce(res, req, frac), nil
+}
+
+// refineReduce is refineMap's counterpart for reduce stages: it
+// interpolates between the LP's fractions and the data-proportional
+// (locality) placement, evaluating each candidate under integral waves,
+// and keeps the best that fits the WAN budget.
+func refineReduce(res Resources, req ReduceRequest, lpFrac []float64) ReducePlacement {
+	n := res.N()
+	total := req.TotalInter()
+	prop := make([]float64, n)
+	for x := 0; x < n; x++ {
+		if total > 0 {
+			prop[x] = req.InterBySite[x] / total
+		}
+	}
+	// Candidate fractions: the LP optimum, interpolations toward the
+	// data-proportional (locality) placement, and an uplink-proportional
+	// spread, which parallelizes the export of this stage's output when
+	// a downstream stage will shuffle it again.
+	upProp := make([]float64, n)
+	upTotal := 0.0
+	for x := 0; x < n; x++ {
+		if res.Slots[x] > 0 {
+			upProp[x] = res.UpBW[x]
+			upTotal += upProp[x]
+		}
+	}
+	if upTotal > 0 {
+		for x := range upProp {
+			upProp[x] /= upTotal
+		}
+	}
+	candidates := make([][]float64, 0, 6)
+	for _, alpha := range []float64{1, 0.75, 0.5, 0.25, 0} {
+		frac := make([]float64, n)
+		for x := 0; x < n; x++ {
+			frac[x] = alpha*lpFrac[x] + (1-alpha)*prop[x]
+		}
+		candidates = append(candidates, frac)
+	}
+	if upTotal > 0 && req.OutputBytes > 0 {
+		candidates = append(candidates, upProp)
+	}
+
+	best := ReducePlacement{}
+	bestEst := math.Inf(1)
+	for ci, frac := range candidates {
+		tasks := apportion(frac, req.NumTasks)
+		if ci > 0 { // the raw LP already honours zero-slot constraints
+			bad := false
+			for x, c := range tasks {
+				if c > 0 && res.Slots[x] == 0 {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+		}
+		tShufl, tRed := ceilReduceTimes(res, req, tasks)
+		if req.WANBudget >= 0 {
+			p := ReducePlacement{Frac: frac}
+			if p.WANBytes(req.InterBySite) > req.WANBudget*(1+1e-9) {
+				continue
+			}
+		}
+		if est := tShufl + tRed + reduceDrainCost(res, req, tasks); est < bestEst {
+			bestEst = est
+			best = ReducePlacement{Frac: frac, Tasks: tasks, TShufl: tShufl, TRed: tRed}
+		}
+	}
+	if math.IsInf(bestEst, 1) {
+		tasks := apportion(lpFrac, req.NumTasks)
+		tShufl, tRed := ceilReduceTimes(res, req, tasks)
+		return ReducePlacement{Frac: lpFrac, Tasks: tasks, TShufl: tShufl, TRed: tRed}
+	}
+	return best
+}
+
+// ceilReduceTimes evaluates a rounded reduce placement under integral
+// waves and per-site shuffle bottlenecks.
+func ceilReduceTimes(res Resources, req ReduceRequest, tasks []int) (tShufl, tRed float64) {
+	n := res.N()
+	total := req.TotalInter()
+	nRed := 0
+	for _, c := range tasks {
+		nRed += c
+	}
+	if nRed == 0 {
+		return 0, 0
+	}
+	for x := 0; x < n; x++ {
+		r := float64(tasks[x]) / float64(nRed)
+		if res.UpBW[x] > 0 {
+			tShufl = math.Max(tShufl, req.InterBySite[x]*(1-r)/res.UpBW[x])
+		}
+		if res.DownBW[x] > 0 {
+			tShufl = math.Max(tShufl, (total-req.InterBySite[x])*r/res.DownBW[x])
+		}
+		if tasks[x] > 0 {
+			waves := math.Ceil(float64(tasks[x]) / slotCap(res.Slots[x]))
+			tRed = math.Max(tRed, req.TaskCompute*waves)
+		}
+	}
+	return tShufl, tRed
+}
+
+// PlaceReverse runs the paper's reverse (reduce-first) heuristic (§3.4):
+// (i) fix r_x proportional to the slot distribution; (ii) solve the
+// reduce LP with the intermediate distribution as the decision variable,
+// yielding a desired I_shufl distribution; (iii) solve the map LP with
+// the extra constraint that each destination's share of intermediate
+// output matches that distribution. It returns both placements plus the
+// combined estimated time, letting callers pick min(forward, reverse).
+func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, redTaskCompute, outputRatio float64) (MapPlacement, ReducePlacement, error) {
+	n := res.N()
+	if err := res.validate(); err != nil {
+		return MapPlacement{}, ReducePlacement{}, err
+	}
+	// (i) r_x = S_x / Σ S.
+	rFrac := uniformOverSlots(res.Slots)
+
+	// (ii) choose the intermediate distribution d_x (fractions of total
+	// intermediate bytes) minimizing shuffle time under fixed r:
+	//   up_x:   D·d_x·(1−r_x) ≤ T·B_up_x
+	//   down_x: D·(1−d_x)·r_x ≤ T·B_down_x
+	// where D is total intermediate volume (= map input × ratio).
+	totalInter := mapReq.TotalInput() * outputRatio
+	prob := lp.NewProblem()
+	T := prob.AddVar("T", 1)
+	dv := make([]lp.Var, n)
+	for x := 0; x < n; x++ {
+		dv[x] = prob.AddVar(fmt.Sprintf("d_%d", x), 0)
+	}
+	for x := 0; x < n; x++ {
+		prob.AddConstraint(map[lp.Var]float64{
+			dv[x]: totalInter * (1 - rFrac[x]),
+			T:     -res.UpBW[x],
+		}, lp.LE, 0)
+		// down: D·r_x − D·d_x·r_x ≤ T·B_down.
+		prob.AddConstraint(map[lp.Var]float64{
+			dv[x]: -totalInter * rFrac[x],
+			T:     -res.DownBW[x],
+		}, lp.LE, -totalInter*rFrac[x])
+	}
+	sumRow := map[lp.Var]float64{}
+	for x := 0; x < n; x++ {
+		sumRow[dv[x]] = 1
+	}
+	prob.AddConstraint(sumRow, lp.EQ, 1)
+	sol, err := prob.Solve()
+	if err != nil {
+		// Degenerate; fall back to forward planning only.
+		mp, e1 := t.PlaceMap(res, mapReq)
+		if e1 != nil {
+			return MapPlacement{}, ReducePlacement{}, e1
+		}
+		rp, e2 := t.PlaceReduce(res, ReduceRequest{
+			InterBySite: interFromMap(mp, mapReq), NumTasks: redTasks,
+			TaskCompute: redTaskCompute, WANBudget: -1,
+		})
+		return mp, rp, e2
+	}
+	desired := make([]float64, n)
+	for x := 0; x < n; x++ {
+		desired[x] = sol.Value(dv[x])
+	}
+
+	// (iii) map LP with destination-share constraints Σ_x m_{x,y} = d_y.
+	mp, err := placeMapWithDestShares(res, mapReq, desired)
+	if err != nil {
+		return MapPlacement{}, ReducePlacement{}, err
+	}
+	rp, err := t.PlaceReduce(res, ReduceRequest{
+		InterBySite: interFromMap(mp, mapReq),
+		NumTasks:    redTasks,
+		TaskCompute: redTaskCompute,
+		WANBudget:   -1,
+	})
+	return mp, rp, err
+}
+
+// interFromMap derives the intermediate distribution a map placement
+// produces: output appears where map tasks ran, proportional to the
+// tasks at each destination.
+func interFromMap(mp MapPlacement, req MapRequest) []float64 {
+	n := len(mp.Frac)
+	out := make([]float64, n)
+	total := req.TotalInput()
+	for x := range mp.Frac {
+		for y, f := range mp.Frac[x] {
+			out[y] += f * total
+		}
+	}
+	return out
+}
+
+// placeMapWithDestShares is the §3.4 step (iii) map LP: standard §3.1
+// constraints plus Σ_x m_{x,y} = share_y.
+func placeMapWithDestShares(res Resources, req MapRequest, share []float64) (MapPlacement, error) {
+	n := res.N()
+	total := req.TotalInput()
+	if total <= 0 {
+		return Tetrium{}.PlaceMap(res, req)
+	}
+	prob := lp.NewProblem()
+	tAggr := prob.AddVar("Taggr", 1)
+	tMap := prob.AddVar("Tmap", 1)
+	mv := make([][]lp.Var, n)
+	for x := 0; x < n; x++ {
+		mv[x] = make([]lp.Var, n)
+		for y := 0; y < n; y++ {
+			mv[x][y] = prob.AddVar("m", 0)
+		}
+	}
+	for x := 0; x < n; x++ {
+		rowUp := map[lp.Var]float64{tAggr: -res.UpBW[x]}
+		rowDown := map[lp.Var]float64{tAggr: -res.DownBW[x]}
+		rowComp := map[lp.Var]float64{tMap: -1}
+		for y := 0; y < n; y++ {
+			if y != x {
+				rowUp[mv[x][y]] = total
+				rowDown[mv[y][x]] = total
+			}
+			rowComp[mv[y][x]] = req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[x])
+		}
+		prob.AddConstraint(rowUp, lp.LE, 0)
+		prob.AddConstraint(rowDown, lp.LE, 0)
+		prob.AddConstraint(rowComp, lp.LE, 0)
+		// Conservation.
+		cons := map[lp.Var]float64{}
+		for y := 0; y < n; y++ {
+			cons[mv[x][y]] = 1
+		}
+		prob.AddConstraint(cons, lp.EQ, req.InputBySite[x]/total)
+		// Destination share.
+		dst := map[lp.Var]float64{}
+		for y := 0; y < n; y++ {
+			dst[mv[y][x]] = 1
+		}
+		prob.AddConstraint(dst, lp.EQ, share[x])
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return fallbackMap(res, req), nil
+	}
+	m := make([][]float64, n)
+	for x := range m {
+		m[x] = make([]float64, n)
+		for y := 0; y < n; y++ {
+			if v := sol.Value(mv[x][y]); v > 1e-12 {
+				m[x][y] = v
+			}
+		}
+	}
+	return finishMap(res, req, m, sol.Value(tAggr), sol.Value(tMap)), nil
+}
+
+// slotCap treats a zero-slot site as having a vanishing capacity so Eq. 4
+// divisions stay finite; an explicit equality constraint separately
+// forbids placing tasks there.
+func slotCap(s int) float64 {
+	if s <= 0 {
+		return 1e-6
+	}
+	return float64(s)
+}
+
+// computeTime is the fractional multi-wave computation estimate
+// max_x t·n·frac_x/S_x used when a closed-form placement skips the LP.
+func computeTime(taskCompute float64, nTasks int, frac []float64, slots []int) float64 {
+	worst := 0.0
+	for x, f := range frac {
+		if f <= 0 {
+			continue
+		}
+		tx := taskCompute * float64(nTasks) * f / slotCap(slots[x])
+		if tx > worst {
+			worst = tx
+		}
+	}
+	return worst
+}
+
+// aggrTime is the bottleneck network time of a map fraction matrix.
+func aggrTime(res Resources, m [][]float64, total float64) float64 {
+	n := len(m)
+	worst := 0.0
+	for x := 0; x < n; x++ {
+		up, down := 0.0, 0.0
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			if x < len(m) && m[x] != nil {
+				up += m[x][y]
+			}
+			if m[y] != nil {
+				down += m[y][x]
+			}
+		}
+		if t := up * total / res.UpBW[x]; t > worst {
+			worst = t
+		}
+		if t := down * total / res.DownBW[x]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+func finishMap(res Resources, req MapRequest, m [][]float64, tAggr, tMap float64) MapPlacement {
+	return MapPlacement{
+		Frac:  m,
+		Tasks: apportionMatrix(m, req.NumTasks),
+		TAggr: tAggr,
+		TMap:  tMap,
+	}
+}
+
+func finishReduce(res Resources, req ReduceRequest, frac []float64, tShufl, tRed float64) ReducePlacement {
+	return ReducePlacement{
+		Frac:   frac,
+		Tasks:  apportion(frac, req.NumTasks),
+		TShufl: tShufl,
+		TRed:   tRed,
+	}
+}
+
+// fallbackMap leaves data in place (diagonal matrix). Used only if the
+// LP solver fails numerically.
+func fallbackMap(res Resources, req MapRequest) MapPlacement {
+	n := res.N()
+	total := req.TotalInput()
+	m := make([][]float64, n)
+	for x := range m {
+		m[x] = make([]float64, n)
+		if total > 0 {
+			m[x][x] = req.InputBySite[x] / total
+		}
+	}
+	frac := make([]float64, n)
+	for x := range frac {
+		frac[x] = m[x][x]
+	}
+	return finishMap(res, req, m, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots))
+}
+
+// fallbackReduce places reduce tasks proportional to data. Used only if
+// the LP solver fails numerically.
+func fallbackReduce(res Resources, req ReduceRequest) ReducePlacement {
+	n := res.N()
+	total := req.TotalInter()
+	frac := make([]float64, n)
+	for x := range frac {
+		if total > 0 {
+			frac[x] = req.InterBySite[x] / total
+		}
+	}
+	tsh := shuffleTime(res, req.InterBySite, frac)
+	return finishReduce(res, req, frac, tsh, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots))
+}
+
+// shuffleTime is the bottleneck shuffle estimate for fractions r over
+// intermediate distribution inter.
+func shuffleTime(res Resources, inter []float64, r []float64) float64 {
+	total := 0.0
+	for _, b := range inter {
+		total += b
+	}
+	worst := 0.0
+	for x := range inter {
+		up := inter[x] * (1 - r[x]) / res.UpBW[x]
+		down := (total - inter[x]) * r[x] / res.DownBW[x]
+		worst = math.Max(worst, math.Max(up, down))
+	}
+	return worst
+}

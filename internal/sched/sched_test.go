@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderSRPT(t *testing.T) {
+	jobs := []JobInfo{
+		{ID: 0, RemainingStages: 3, EstStageTime: 1},
+		{ID: 1, RemainingStages: 1, EstStageTime: 9},
+		{ID: 2, RemainingStages: 1, EstStageTime: 2},
+		{ID: 3, RemainingStages: 2, EstStageTime: 1},
+	}
+	got := Order(SRPT, jobs)
+	want := []int{2, 1, 3, 0} // fewest stages first, T_j breaks ties
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order(SRPT) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderSRPTTieBreaksByID(t *testing.T) {
+	jobs := []JobInfo{
+		{ID: 5, RemainingStages: 1, EstStageTime: 2},
+		{ID: 3, RemainingStages: 1, EstStageTime: 2},
+	}
+	got := Order(SRPT, jobs)
+	if jobs[got[0]].ID != 3 {
+		t.Errorf("tie not broken by ID: %v", got)
+	}
+}
+
+func TestOrderFIFO(t *testing.T) {
+	jobs := []JobInfo{
+		{ID: 2, RemainingStages: 1},
+		{ID: 0, RemainingStages: 9},
+		{ID: 1, RemainingStages: 5},
+	}
+	for _, p := range []Policy{FIFO, Fair} {
+		got := Order(p, jobs)
+		if jobs[got[0]].ID != 0 || jobs[got[1]].ID != 1 || jobs[got[2]].ID != 2 {
+			t.Errorf("Order(%v) = %v, want arrival order", p, got)
+		}
+	}
+}
+
+func TestOrderDoesNotMutate(t *testing.T) {
+	jobs := []JobInfo{{ID: 1}, {ID: 0}}
+	Order(SRPT, jobs)
+	if jobs[0].ID != 1 {
+		t.Error("Order mutated input")
+	}
+}
+
+func TestFairShares(t *testing.T) {
+	shares := FairShares(10, []int{30, 10, 60})
+	if shares[0] != 3 || shares[1] != 1 || shares[2] != 6 {
+		t.Errorf("FairShares = %v, want [3 1 6]", shares)
+	}
+}
+
+func TestFairSharesCappedByTasks(t *testing.T) {
+	// Job 0 has only 1 task: it cannot hold 5 slots.
+	shares := FairShares(10, []int{1, 1})
+	if shares[0] > 1 || shares[1] > 1 {
+		t.Errorf("FairShares = %v exceeds remaining tasks", shares)
+	}
+}
+
+func TestFairSharesEmpty(t *testing.T) {
+	if s := FairShares(10, []int{0, 0}); s[0] != 0 || s[1] != 0 {
+		t.Errorf("FairShares no tasks = %v", s)
+	}
+	if s := FairShares(0, []int{5}); s[0] != 0 {
+		t.Errorf("FairShares no slots = %v", s)
+	}
+}
+
+func TestFairSharesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		tasks := make([]int, n)
+		for i := range tasks {
+			tasks[i] = rng.Intn(100)
+		}
+		total := rng.Intn(200)
+		shares := FairShares(total, tasks)
+		sum := 0
+		for i, s := range shares {
+			if s < 0 || s > tasks[i] {
+				return false
+			}
+			sum += s
+		}
+		return sum <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapEpsilonExtremes(t *testing.T) {
+	shares := []int{4, 3, 3}
+	// ε = 1: no reservation for others; job may take everything.
+	if got := Cap(1, 10, shares, 0); got != 10 {
+		t.Errorf("Cap(eps=1) = %d, want 10", got)
+	}
+	// ε = 0: full reservation; job 0 keeps 10 − (3+3) = 4.
+	if got := Cap(0, 10, shares, 0); got != 4 {
+		t.Errorf("Cap(eps=0) = %d, want 4", got)
+	}
+	// ε = 0.5: 10 − 0.5·6 = 7.
+	if got := Cap(0.5, 10, shares, 0); got != 7 {
+		t.Errorf("Cap(eps=0.5) = %d, want 7", got)
+	}
+}
+
+func TestCapNeverBelowOwnShare(t *testing.T) {
+	shares := []int{2, 8}
+	if got := Cap(0, 10, shares, 0); got < 2 {
+		t.Errorf("Cap = %d, below own share 2", got)
+	}
+}
+
+func TestCapClampsEpsilon(t *testing.T) {
+	shares := []int{5, 5}
+	if Cap(-1, 10, shares, 0) != Cap(0, 10, shares, 0) {
+		t.Error("eps < 0 not clamped")
+	}
+	if Cap(2, 10, shares, 0) != Cap(1, 10, shares, 0) {
+		t.Error("eps > 1 not clamped")
+	}
+}
+
+func TestScaleDemand(t *testing.T) {
+	d := []int{8, 4, 4}
+	got := ScaleDemand(d, 8)
+	sum := 0
+	for i, x := range got {
+		if x > d[i] {
+			t.Errorf("scaled demand %d exceeds original at %d", x, i)
+		}
+		sum += x
+	}
+	if sum != 8 {
+		t.Errorf("scaled sum = %d, want 8", sum)
+	}
+	// Proportionality: site 0 had half the demand, keeps half the cap.
+	if got[0] != 4 {
+		t.Errorf("got[0] = %d, want 4", got[0])
+	}
+}
+
+func TestScaleDemandWithinCap(t *testing.T) {
+	d := []int{1, 2}
+	got := ScaleDemand(d, 10)
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("ScaleDemand under cap changed demand: %v", got)
+	}
+}
+
+func TestScaleDemandZeroCap(t *testing.T) {
+	got := ScaleDemand([]int{5, 5}, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("ScaleDemand cap=0 = %v", got)
+	}
+}
+
+func TestScaleDemandProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		d := make([]int, n)
+		for i := range d {
+			d[i] = rng.Intn(50)
+		}
+		cap := rng.Intn(100)
+		got := ScaleDemand(d, cap)
+		sum, orig := 0, 0
+		for i := range d {
+			if got[i] < 0 || got[i] > d[i] {
+				return false
+			}
+			sum += got[i]
+			orig += d[i]
+		}
+		if orig <= cap {
+			return sum == orig
+		}
+		return sum <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if SRPT.String() != "srpt" || FIFO.String() != "fifo" || Fair.String() != "fair" {
+		t.Error("Policy strings wrong")
+	}
+}

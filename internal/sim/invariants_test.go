@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/order"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/units"
+	"tetrium/internal/workload"
+)
+
+// TestPropertySimInvariants runs randomized traces through randomized
+// configurations and checks the engine's global invariants:
+//
+//   - every job completes, with Completion ≥ Arrival;
+//   - makespan equals the latest completion;
+//   - per-job WAN bytes are non-negative and sum to the total;
+//   - results are identical on a re-run (determinism).
+func TestPropertySimInvariants(t *testing.T) {
+	placers := []place.Placer{
+		place.Tetrium{}, place.Iridium{}, place.InPlace{},
+		place.NewCentralized(), place.Tetris{},
+	}
+	policies := []sched.Policy{sched.SRPT, sched.FIFO, sched.Fair}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSites := 2 + rng.Intn(6)
+		sites := make([]cluster.Site, nSites)
+		for i := range sites {
+			sites[i] = cluster.Site{
+				Name:   "s",
+				Slots:  1 + rng.Intn(12),
+				UpBW:   (50 + rng.Float64()*950) * units.Mbps,
+				DownBW: (50 + rng.Float64()*950) * units.Mbps,
+			}
+		}
+		c := cluster.New(sites)
+
+		gen := workload.GenConfig{
+			Sites:     nSites,
+			Seed:      rng.Int63(),
+			NumJobs:   1 + rng.Intn(5),
+			StagesMin: 1 + rng.Intn(2), StagesMax: 2 + rng.Intn(4),
+			TasksMin: 1 + rng.Intn(5), TasksMax: 6 + rng.Intn(40),
+			InputPerTask:     (10 + rng.Float64()*90) * units.MB,
+			InputSkewCV:      rng.Float64() * 2,
+			MeanTaskCompute:  0.5 + rng.Float64()*3,
+			TaskComputeCV:    rng.Float64() * 0.5,
+			MeanInterarrival: rng.Float64() * 5,
+			JoinProb:         rng.Float64() * 0.5,
+			ReplicaCount:     rng.Intn(3),
+			StragglerProb:    rng.Float64() * 0.1,
+			StragglerFactor:  2 + rng.Float64()*5,
+		}
+		jobs := workload.Generate(gen)
+
+		cfg := Config{
+			Cluster:     c,
+			Jobs:        jobs,
+			Placer:      placers[rng.Intn(len(placers))],
+			Policy:      policies[rng.Intn(len(policies))],
+			MapOrder:    order.MapStrategy(rng.Intn(2)),
+			ReduceOrder: order.ReduceStrategy(rng.Intn(2)),
+			Rho:         rng.Float64(),
+			Eps:         rng.Float64(),
+			Seed:        seed,
+			BatchWindow: rng.Float64() * 0.5,
+			Speculation: rng.Intn(2) == 0,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Drops = []Drop{{Time: rng.Float64() * 10, Site: rng.Intn(nSites), Frac: rng.Float64() * 0.6}}
+			cfg.UpdateK = rng.Intn(nSites + 1)
+		}
+
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(res.Jobs) != len(jobs) {
+			return false
+		}
+		var jobWAN, maxCompletion float64
+		for _, j := range res.Jobs {
+			if j.Completion < j.Arrival || j.Response < 0 || j.WANBytes < 0 {
+				t.Logf("seed %d: bad job result %+v", seed, j)
+				return false
+			}
+			jobWAN += j.WANBytes
+			if j.Completion > maxCompletion {
+				maxCompletion = j.Completion
+			}
+		}
+		if res.Makespan != maxCompletion {
+			t.Logf("seed %d: makespan %v != max completion %v", seed, res.Makespan, maxCompletion)
+			return false
+		}
+		if diff := res.WANBytes - jobWAN; diff > 1 || diff < -1 {
+			t.Logf("seed %d: WAN total %v != per-job sum %v", seed, res.WANBytes, jobWAN)
+			return false
+		}
+		// Determinism.
+		res2, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		for i := range res.Jobs {
+			if res.Jobs[i].Response != res2.Jobs[i].Response {
+				t.Logf("seed %d: nondeterministic response for job %d", seed, i)
+				return false
+			}
+		}
+		return res.WANBytes == res2.WANBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTetriumCompetitive: on random contended setups Tetrium's
+// mean response stays within a bounded factor of the best baseline — the
+// joint placement must never catastrophically lose. (Individual tiny
+// traces can favor a lucky baseline by tens of percent — SRPT tail
+// ordering on 4-8 jobs is noisy — hence the generous bound; the
+// experiment suite covers the statistical comparison.)
+func TestPropertyTetriumCompetitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSites := 3 + rng.Intn(5)
+		sites := make([]cluster.Site, nSites)
+		for i := range sites {
+			sites[i] = cluster.Site{
+				Name:   "s",
+				Slots:  2 + rng.Intn(10),
+				UpBW:   (100 + rng.Float64()*900) * units.Mbps,
+				DownBW: (100 + rng.Float64()*900) * units.Mbps,
+			}
+		}
+		c := cluster.New(sites)
+		gen := workload.BigData(nSites, 4+rng.Intn(4), rng.Int63())
+		jobs := workload.Generate(gen)
+
+		run := func(pl place.Placer, pol sched.Policy) float64 {
+			res, err := Run(Config{
+				Cluster: c, Jobs: jobs, Placer: pl, Policy: pol,
+				MapOrder: order.RemoteFirstSpread, ReduceOrder: order.LongestFirst,
+				Rho: 1, Eps: 1,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res.MeanResponse()
+		}
+		tet := run(place.Tetrium{}, sched.SRPT)
+		inp := run(place.InPlace{}, sched.Fair)
+		iri := run(place.Iridium{}, sched.Fair)
+		best := inp
+		if iri < best {
+			best = iri
+		}
+		if tet > 2.5*best {
+			t.Logf("seed %d: tetrium %v vs best baseline %v", seed, tet, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,673 @@
+// Package sim is a discrete-event simulator of a geo-distributed
+// data-analytics framework: the substrate the Tetrium paper's decisions
+// run on (its own large-scale evaluation, §6.3, is likewise trace-driven
+// simulation). It models:
+//
+//   - per-site compute slots executing tasks in waves (§2.2);
+//   - WAN transfers through internal/netsim's max-min fair fluid flows
+//     (congestion-free core, per-site up/down bottlenecks, §2.1);
+//   - a global manager that runs a scheduling instance on job arrivals
+//     and slot releases (§3 intro), placing tasks with a pluggable
+//     place.Placer, ordering jobs with a sched.Policy, ordering tasks
+//     within stages per order strategies (§3.3), and applying the WAN
+//     budget ρ (§4.3) and fairness ε (§4.4) knobs;
+//   - resource drops at runtime with k-site-limited reassignment (§4.2).
+//
+// A task launched at a site holds a slot through its input fetch and
+// computation (as in Spark); fetches started in the same scheduling
+// instance share aggregated per-(src,dst) flows, so later waves put
+// their traffic on the network at the time they actually run — exactly
+// the mis-accounting of network timing that the paper criticizes
+// single-shot planners for (§1).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/netsim"
+	"tetrium/internal/order"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/workload"
+)
+
+// Drop is a runtime capacity reduction at one site (§4.2, Fig. 11).
+type Drop struct {
+	Time float64
+	Site int
+	// Frac is the fraction of the site's compute and network capacity
+	// removed (0.3 = 30% drop).
+	Frac float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Cluster *cluster.Cluster
+	Jobs    []*workload.Job
+	Placer  place.Placer
+	Policy  sched.Policy
+
+	MapOrder    order.MapStrategy
+	ReduceOrder order.ReduceStrategy
+
+	// Rho is the WAN-budget knob ρ of §4.3: 1 optimizes response time
+	// with the maximum budget, 0 minimizes WAN usage. Values < 0 are
+	// treated as 1 (the paper's default setting, §6.1).
+	Rho float64
+	// Eps is the fairness knob ε of §4.4: 1 is pure SRPT, 0 is complete
+	// fairness. Values < 0 are treated as 1. Ignored (forced to 0) when
+	// Policy is Fair.
+	Eps float64
+
+	// Seed drives the only randomized component (random reduce-task
+	// ordering).
+	Seed int64
+
+	// BatchWindow, when positive, delays each scheduling instance by
+	// this many seconds after the triggering event so that more released
+	// slots are visible to one decision (§5, "Batching of Slots").
+	BatchWindow float64
+
+	// LocalReserve is the fraction of a map-stage launch batch reserved
+	// for data-local tasks under remote-first ordering (§5, "Handling
+	// Dynamic Slot Arrivals").
+	LocalReserve float64
+
+	// Drops injects resource-capacity reductions at runtime.
+	Drops []Drop
+	// UpdateK limits how many sites a placement may change on a drop
+	// (§4.2); 0 updates all sites.
+	UpdateK int
+
+	// TrackSchedTime records the wall-clock duration of every scheduling
+	// instance (Fig. 7).
+	TrackSchedTime bool
+
+	// RecordTimeline captures a per-task event log (launch / compute
+	// start / finish, per site) in Result.Timeline for schedule
+	// debugging and Gantt rendering.
+	RecordTimeline bool
+
+	// Speculation launches a redundant copy of a straggling task once
+	// its computation has run SpecThreshold× the stage's estimated task
+	// duration (§8: straggler mitigation is orthogonal to placement;
+	// copies are placed at the free-slot-richest site, preferring the
+	// task's data site). SpecThreshold defaults to 2 when Speculation is
+	// set.
+	Speculation   bool
+	SpecThreshold float64
+}
+
+// JobResult summarizes one job's execution.
+type JobResult struct {
+	ID         int
+	Name       string
+	Arrival    float64
+	Completion float64
+	Response   float64 // Completion − Arrival
+	WANBytes   float64 // cross-site bytes moved on behalf of this job
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Jobs     []JobResult
+	WANBytes float64 // total cross-site bytes
+	Makespan float64 // completion time of the last job
+	// SchedDurations holds per-instance scheduler wall times when
+	// Config.TrackSchedTime is set.
+	SchedDurations []time.Duration
+	Instances      int
+	// SpeculativeCopies / SpeculativeRescues count §8 straggler copies
+	// launched and tasks whose copy finished before the original.
+	SpeculativeCopies  int
+	SpeculativeRescues int
+	// Timeline is the per-task event log (Config.RecordTimeline).
+	Timeline Timeline
+}
+
+// MeanResponse returns the average job response time.
+func (r *Result) MeanResponse() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, j := range r.Jobs {
+		s += j.Response
+	}
+	return s / float64(len(r.Jobs))
+}
+
+// Responses returns per-job response times indexed like Jobs.
+func (r *Result) Responses() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = j.Response
+	}
+	return out
+}
+
+// Run executes the simulation to completion and returns per-job results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Cluster == nil || cfg.Cluster.N() == 0 {
+		return nil, errors.New("sim: no cluster")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("sim: no jobs")
+	}
+	if cfg.Placer == nil {
+		return nil, errors.New("sim: no placer")
+	}
+	for _, j := range cfg.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		for _, st := range j.Stages {
+			for _, task := range st.Tasks {
+				if st.Kind == workload.MapStage && task.Src >= cfg.Cluster.N() {
+					return nil, fmt.Errorf("sim: job %d references site %d beyond cluster", j.ID, task.Src)
+				}
+			}
+		}
+	}
+	if cfg.Rho < 0 {
+		cfg.Rho = 1
+	}
+	if cfg.Eps < 0 {
+		cfg.Eps = 1
+	}
+	if cfg.Policy == sched.Fair {
+		cfg.Eps = 0
+	}
+	e := newEngine(cfg)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// RunIsolated runs a single job alone on an otherwise empty cluster with
+// the same configuration and returns its response time — the denominator
+// of the slowdown metric (§6.1).
+func RunIsolated(cfg Config, job *workload.Job) (float64, error) {
+	iso := *job
+	iso.Arrival = 0
+	cfg.Jobs = []*workload.Job{&iso}
+	cfg.Drops = nil
+	cfg.TrackSchedTime = false
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Jobs[0].Response, nil
+}
+
+// Event machinery ----------------------------------------------------------
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evComputeDone
+	evDrop
+	evDispatch
+	evSpecCheck
+)
+
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+
+	job    *jobRun   // evArrival
+	st     *stageRun // evComputeDone
+	task   int       // evComputeDone
+	site   int       // evComputeDone
+	isCopy bool      // evComputeDone: speculative copy (§8)
+	drop   Drop      // evDrop
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Runtime state -------------------------------------------------------------
+
+type stageState int
+
+const (
+	stWaiting stageState = iota // upstream stages incomplete
+	stReady                     // schedulable
+	stDone
+)
+
+type stageRun struct {
+	job   *jobRun
+	idx   int
+	spec  *workload.Stage
+	state stageState
+
+	pending  []int // task indices not yet launched
+	launched int
+	done     int
+
+	// Speculation bookkeeping (§8).
+	computeStart []float64 // per task: when computation began (-1 before)
+	doneTask     []bool    // per task: completed (original or copy)
+	copyLaunched []bool    // per task: a speculative copy exists
+
+	// interBySite is where this (reduce) stage's input physically lives,
+	// accumulated from upstream outputs as they complete.
+	interBySite []float64
+	// outBySite accumulates this stage's output at the sites its tasks
+	// ran, feeding downstream interBySite.
+	outBySite []float64
+
+	cache *placeCache
+}
+
+func (st *stageRun) numTasks() int { return len(st.spec.Tasks) }
+
+// placeCache holds a placement decision reused across scheduling
+// instances until the stage's pending count halves (re-evaluating every
+// instance would solve thousands of LPs; the estimate stays faithful
+// because placement fractions, not concrete slots, are cached).
+type placeCache struct {
+	est       float64
+	pendingAt int
+	// quota[y]: remaining tasks the placement wants at site y.
+	quota []int
+	// quotaM[x][y]: map stages only — remaining tasks reading from x to
+	// run at y.
+	quotaM [][]int
+}
+
+type jobRun struct {
+	spec           *workload.Job
+	stages         []*stageRun
+	stagesDone     int
+	remainingTasks int
+	completedAt    float64
+	wanBytes       float64
+}
+
+func (j *jobRun) done() bool { return j.stagesDone == len(j.stages) }
+
+// fetchGroup tracks an in-flight input fetch: the set of flows that must
+// finish before its tasks start computing.
+type fetchGroup struct {
+	flows map[netsim.FlowID]bool
+	tasks []taskRef
+}
+
+type taskRef struct {
+	st     *stageRun
+	task   int
+	site   int
+	isCopy bool
+}
+
+type engine struct {
+	cfg Config
+	n   int
+
+	net      *netsim.Network
+	events   eventHeap
+	seq      int64
+	now      float64
+	rng      *rand.Rand
+	capSlots []int // current per-site capacity (after drops)
+	free     []int // capacity minus running tasks (may dip below 0 after drops)
+	upBW     []float64
+	downBW   []float64
+
+	jobs       []*jobRun
+	activeJobs int
+
+	flowOwner map[netsim.FlowID]*fetchGroup
+
+	needDispatch      bool
+	dispatchScheduled bool
+	dropped           bool // a resource drop has occurred (§4.2 k-limit)
+
+	wanBytes   float64
+	instances  int
+	schedTimes []time.Duration
+
+	specCopies  int // speculative copies launched
+	specRescues int // tasks whose copy finished first
+
+	timeline   Timeline
+	openEvents map[timelineKey]int
+}
+
+func newEngine(cfg Config) *engine {
+	cl := cfg.Cluster
+	n := cl.N()
+	e := &engine{
+		cfg:       cfg,
+		n:         n,
+		net:       netsim.New(cl.UpBW(), cl.DownBW()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		capSlots:  cl.Slots(),
+		free:      cl.Slots(),
+		upBW:      cl.UpBW(),
+		downBW:    cl.DownBW(),
+		flowOwner:  make(map[netsim.FlowID]*fetchGroup),
+		openEvents: make(map[timelineKey]int),
+	}
+	for _, j := range cfg.Jobs {
+		jr := &jobRun{spec: j, completedAt: -1}
+		for si, st := range j.Stages {
+			sr := &stageRun{
+				job:         jr,
+				idx:         si,
+				spec:        st,
+				interBySite: make([]float64, n),
+				outBySite:   make([]float64, n),
+			}
+			jr.stages = append(jr.stages, sr)
+			jr.remainingTasks += len(st.Tasks)
+		}
+		e.jobs = append(e.jobs, jr)
+		e.push(&event{time: j.Arrival, kind: evArrival, job: jr})
+	}
+	for _, d := range cfg.Drops {
+		e.push(&event{time: d.Time, kind: evDrop, drop: d})
+	}
+	return e
+}
+
+func (e *engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+const timeEps = 1e-9
+
+func (e *engine) run() error {
+	heap.Init(&e.events)
+	guard := 0
+	maxIter := 1000*totalTasks(e.jobs) + 100000
+	for {
+		guard++
+		if guard > maxIter {
+			return errors.New("sim: event budget exceeded (livelock?)")
+		}
+		var tq float64
+		haveQ := len(e.events) > 0
+		if haveQ {
+			tq = e.events[0].time
+		}
+		tn, haveN := e.net.NextCompletion()
+		if !haveQ && !haveN {
+			break
+		}
+		var t float64
+		switch {
+		case haveQ && haveN:
+			t = math.Min(tq, tn)
+		case haveQ:
+			t = tq
+		default:
+			t = tn
+		}
+		if t < e.now {
+			t = e.now
+		}
+		e.net.Advance(t)
+		e.now = t
+		for _, f := range e.net.PopCompleted() {
+			e.onFlowDone(f)
+		}
+		for len(e.events) > 0 && e.events[0].time <= t+timeEps {
+			ev := heap.Pop(&e.events).(*event)
+			e.handle(ev)
+		}
+		if e.needDispatch {
+			if e.cfg.BatchWindow > 0 {
+				if !e.dispatchScheduled {
+					e.dispatchScheduled = true
+					e.push(&event{time: e.now + e.cfg.BatchWindow, kind: evDispatch})
+				}
+				e.needDispatch = false
+			} else {
+				e.dispatch()
+			}
+		}
+	}
+	// Everything must have drained.
+	for _, j := range e.jobs {
+		if !j.done() {
+			return fmt.Errorf("sim: job %d incomplete at end of simulation", j.spec.ID)
+		}
+	}
+	return nil
+}
+
+func totalTasks(jobs []*jobRun) int {
+	n := 0
+	for _, j := range jobs {
+		n += j.remainingTasks
+	}
+	return n
+}
+
+func (e *engine) handle(ev *event) {
+	switch ev.kind {
+	case evArrival:
+		e.onArrival(ev.job)
+	case evComputeDone:
+		e.onComputeDone(ev.st, ev.task, ev.site, ev.isCopy)
+	case evDrop:
+		e.onDrop(ev.drop)
+	case evDispatch:
+		e.dispatchScheduled = false
+		e.dispatch()
+	case evSpecCheck:
+		if !ev.st.doneTask[ev.task] && !ev.st.copyLaunched[ev.task] {
+			e.speculate()
+		}
+	}
+}
+
+func (e *engine) onArrival(j *jobRun) {
+	for _, st := range j.stages {
+		st.pending = make([]int, len(st.spec.Tasks))
+		st.computeStart = make([]float64, len(st.spec.Tasks))
+		st.doneTask = make([]bool, len(st.spec.Tasks))
+		st.copyLaunched = make([]bool, len(st.spec.Tasks))
+		for i := range st.pending {
+			st.pending[i] = i
+			st.computeStart[i] = -1
+		}
+		if st.spec.Kind == workload.MapStage {
+			st.state = stReady
+		} else {
+			st.state = stWaiting
+		}
+	}
+	e.activeJobs++
+	e.needDispatch = true
+}
+
+func (e *engine) onComputeDone(st *stageRun, task, site int, isCopy bool) {
+	e.free[site]++
+	e.needDispatch = true
+	e.recordFinish(st, task, isCopy)
+	if st.doneTask[task] {
+		// The other copy finished first; this slot release is the only
+		// effect (the loser runs to completion — no remote kill).
+		return
+	}
+	st.doneTask[task] = true
+	if isCopy {
+		e.specRescues++
+	}
+	st.done++
+	st.job.remainingTasks--
+	out := st.spec.Tasks[task].Input * st.spec.OutputRatio
+	st.outBySite[site] += out
+	if st.done == st.numTasks() {
+		st.state = stDone
+		e.onStageDone(st)
+	}
+}
+
+func (e *engine) onStageDone(st *stageRun) {
+	j := st.job
+	j.stagesDone++
+	if j.done() {
+		j.completedAt = e.now
+		e.activeJobs--
+		return
+	}
+	// Wake downstream stages whose deps are all complete.
+	for _, down := range j.stages {
+		if down.state != stWaiting {
+			continue
+		}
+		ready := true
+		for _, d := range down.spec.Deps {
+			if j.stages[d].state != stDone {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		for x := 0; x < e.n; x++ {
+			sum := 0.0
+			for _, d := range down.spec.Deps {
+				sum += j.stages[d].outBySite[x]
+			}
+			down.interBySite[x] = sum
+		}
+		down.state = stReady
+		down.cache = nil
+	}
+}
+
+func (e *engine) onDrop(d Drop) {
+	if d.Site < 0 || d.Site >= e.n {
+		return
+	}
+	e.dropped = true
+	orig := e.cfg.Cluster.Sites[d.Site]
+	newSlots := int(math.Round(float64(orig.Slots) * (1 - d.Frac)))
+	if newSlots < 0 {
+		newSlots = 0
+	}
+	delta := e.capSlots[d.Site] - newSlots
+	e.capSlots[d.Site] = newSlots
+	e.free[d.Site] -= delta // may go negative until running tasks drain
+	minBW := 1.0            // keep netsim capacities positive
+	up := math.Max(orig.UpBW*(1-d.Frac), minBW)
+	down := math.Max(orig.DownBW*(1-d.Frac), minBW)
+	e.net.SetCapacity(d.Site, up, down)
+	e.upBW[d.Site] = up
+	e.downBW[d.Site] = down
+	e.reassignCaches()
+	e.needDispatch = true
+}
+
+func (e *engine) onFlowDone(f *netsim.Flow) {
+	g, ok := e.flowOwner[f.ID]
+	if !ok {
+		return
+	}
+	delete(e.flowOwner, f.ID)
+	delete(g.flows, f.ID)
+	if len(g.flows) > 0 {
+		return
+	}
+	for _, tr := range g.tasks {
+		e.startCompute(tr.st, tr.task, tr.site, tr.isCopy)
+	}
+}
+
+func (e *engine) startCompute(st *stageRun, task, site int, isCopy bool) {
+	e.recordStart(st, task, isCopy)
+	dur := st.spec.Tasks[task].Compute
+	if isCopy {
+		// A speculative copy is assumed to run at the stage's typical
+		// speed — re-running the same straggler would be pointless.
+		dur = st.spec.EstCompute
+	} else {
+		st.computeStart[task] = e.now
+		if e.cfg.Speculation && st.spec.EstCompute > 0 {
+			// Wake the speculation pass right after this task crosses
+			// the straggler threshold; otherwise a lone straggler on an
+			// otherwise idle cluster would never be re-examined. Using
+			// the true duration here only suppresses wake-ups that
+			// would find the task already done — behaviourally identical
+			// to scheduling a check for every task, which a real
+			// scheduler (that cannot see durations) would do.
+			thr := e.cfg.SpecThreshold
+			if thr <= 0 {
+				thr = 2
+			}
+			if dur > thr*st.spec.EstCompute {
+				e.push(&event{
+					time: e.now + thr*st.spec.EstCompute + 1e-6,
+					kind: evSpecCheck,
+					st:   st, task: task, site: site,
+				})
+			}
+		}
+	}
+	e.push(&event{
+		time: e.now + dur,
+		kind: evComputeDone,
+		st:   st, task: task, site: site, isCopy: isCopy,
+	})
+}
+
+func (e *engine) result() *Result {
+	r := &Result{
+		WANBytes:           e.wanBytes,
+		Instances:          e.instances,
+		SchedDurations:     e.schedTimes,
+		SpeculativeCopies:  e.specCopies,
+		SpeculativeRescues: e.specRescues,
+		Timeline:           e.timeline,
+	}
+	for _, j := range e.jobs {
+		jr := JobResult{
+			ID:         j.spec.ID,
+			Name:       j.spec.Name,
+			Arrival:    j.spec.Arrival,
+			Completion: j.completedAt,
+			Response:   j.completedAt - j.spec.Arrival,
+			WANBytes:   j.wanBytes,
+		}
+		r.Jobs = append(r.Jobs, jr)
+		if j.completedAt > r.Makespan {
+			r.Makespan = j.completedAt
+		}
+	}
+	return r
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TaskEvent records one task execution in the timeline log (enabled by
+// Config.RecordTimeline): when the task was launched, when its input
+// fetch finished and computation began, and when it completed — the raw
+// material for Gantt-style schedule debugging.
+type TaskEvent struct {
+	Job   int
+	Stage int
+	Task  int
+	Site  int
+	// Copy marks a speculative duplicate (§8).
+	Copy bool
+	// Launched is when the task took its slot; Started is when its
+	// computation began (fetch complete); Finished is when it completed.
+	// A task superseded by its copy (or vice versa) still reports its
+	// own Finished time.
+	Launched, Started, Finished float64
+}
+
+// FetchTime is the task's input-fetch duration.
+func (e TaskEvent) FetchTime() float64 { return e.Started - e.Launched }
+
+// ComputeTime is the task's computation duration.
+func (e TaskEvent) ComputeTime() float64 { return e.Finished - e.Started }
+
+// Timeline is the ordered task-event log of a run.
+type Timeline []TaskEvent
+
+// WriteTo renders the timeline as a tab-separated table ordered by
+// launch time.
+func (tl Timeline) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := write("job\tstage\ttask\tsite\tcopy\tlaunched\tstarted\tfinished\n"); err != nil {
+		return n, err
+	}
+	for _, e := range tl {
+		copyMark := ""
+		if e.Copy {
+			copyMark = "copy"
+		}
+		if err := write("%d\t%d\t%d\t%d\t%s\t%.3f\t%.3f\t%.3f\n",
+			e.Job, e.Stage, e.Task, e.Site, copyMark, e.Launched, e.Started, e.Finished); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// StageSpans summarizes the timeline per (job, stage): first launch and
+// last finish, the stage's wall-clock span.
+func (tl Timeline) StageSpans() []StageSpan {
+	type key struct{ job, stage int }
+	spans := map[key]*StageSpan{}
+	for _, e := range tl {
+		if e.Copy {
+			continue
+		}
+		k := key{e.Job, e.Stage}
+		s, ok := spans[k]
+		if !ok {
+			s = &StageSpan{Job: e.Job, Stage: e.Stage, Start: e.Launched, End: e.Finished}
+			spans[k] = s
+			continue
+		}
+		if e.Launched < s.Start {
+			s.Start = e.Launched
+		}
+		if e.Finished > s.End {
+			s.End = e.Finished
+		}
+	}
+	out := make([]StageSpan, 0, len(spans))
+	for _, s := range spans {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Job != out[b].Job {
+			return out[a].Job < out[b].Job
+		}
+		return out[a].Stage < out[b].Stage
+	})
+	return out
+}
+
+// StageSpan is one stage's wall-clock extent.
+type StageSpan struct {
+	Job, Stage int
+	Start, End float64
+}
+
+// Duration is the stage's wall-clock span.
+func (s StageSpan) Duration() float64 { return s.End - s.Start }
+
+// recordLaunch notes a task (or copy) taking its slot.
+func (e *engine) recordLaunch(st *stageRun, ti, site int, isCopy bool) {
+	if !e.cfg.RecordTimeline {
+		return
+	}
+	e.timeline = append(e.timeline, TaskEvent{
+		Job:      st.job.spec.ID,
+		Stage:    st.idx,
+		Task:     ti,
+		Site:     site,
+		Copy:     isCopy,
+		Launched: e.now,
+		Started:  -1,
+		Finished: -1,
+	})
+	e.openEvents[timelineKey{st, ti, isCopy}] = len(e.timeline) - 1
+}
+
+// recordStart notes fetch completion / computation start.
+func (e *engine) recordStart(st *stageRun, ti int, isCopy bool) {
+	if !e.cfg.RecordTimeline {
+		return
+	}
+	if idx, ok := e.openEvents[timelineKey{st, ti, isCopy}]; ok {
+		e.timeline[idx].Started = e.now
+	}
+}
+
+// recordFinish notes task completion.
+func (e *engine) recordFinish(st *stageRun, ti int, isCopy bool) {
+	if !e.cfg.RecordTimeline {
+		return
+	}
+	k := timelineKey{st, ti, isCopy}
+	if idx, ok := e.openEvents[k]; ok {
+		e.timeline[idx].Finished = e.now
+		delete(e.openEvents, k)
+	}
+}
+
+type timelineKey struct {
+	st     *stageRun
+	ti     int
+	isCopy bool
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"tetrium/internal/units"
+	"tetrium/internal/workload"
+)
+
+func TestTimelineRecordsEveryTask(t *testing.T) {
+	c := uniformCluster(2, 3, units.GBps)
+	job := mapReduceJob(0, []int{3, 3}, 50*units.MB, 1, 0.5, 4, 1)
+	cfg := baseConfig(c, []*workload.Job{job})
+	cfg.RecordTimeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Timeline); got != job.TotalTasks() {
+		t.Fatalf("timeline has %d events, want %d", got, job.TotalTasks())
+	}
+	for _, e := range res.Timeline {
+		if e.Launched < 0 || e.Started < e.Launched || e.Finished < e.Started {
+			t.Fatalf("non-causal event: %+v", e)
+		}
+		if e.FetchTime() < 0 || e.ComputeTime() <= 0 {
+			t.Fatalf("bad durations: %+v", e)
+		}
+		if e.Site < 0 || e.Site >= 2 {
+			t.Fatalf("bad site: %+v", e)
+		}
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	c := uniformCluster(1, 2, units.GBps)
+	job := mapOnlyJob(0, []int{2}, 10*units.MB, 1)
+	res, err := Run(baseConfig(c, []*workload.Job{job}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 0 {
+		t.Errorf("timeline recorded without RecordTimeline: %d events", len(res.Timeline))
+	}
+}
+
+func TestTimelineStageSpans(t *testing.T) {
+	c := uniformCluster(2, 4, units.GBps)
+	job := mapReduceJob(0, []int{4, 4}, 50*units.MB, 1, 0.5, 4, 1)
+	cfg := baseConfig(c, []*workload.Job{job})
+	cfg.RecordTimeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := res.Timeline.StageSpans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2 stages", len(spans))
+	}
+	// The reduce stage must start after the map stage starts and end at
+	// (or before) the job's completion.
+	if spans[1].Start < spans[0].Start {
+		t.Errorf("reduce started before map: %+v", spans)
+	}
+	if spans[1].End > res.Jobs[0].Completion+1e-9 {
+		t.Errorf("stage span end %v beyond job completion %v", spans[1].End, res.Jobs[0].Completion)
+	}
+	for _, s := range spans {
+		if s.Duration() <= 0 {
+			t.Errorf("non-positive stage duration: %+v", s)
+		}
+	}
+}
+
+func TestTimelineIncludesCopies(t *testing.T) {
+	c := uniformCluster(2, 4, units.GBps)
+	mk := stragglerJob(0, 4, 20)
+	cfg := baseConfig(c, []*workload.Job{mk})
+	cfg.Speculation = true
+	cfg.RecordTimeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copies := 0
+	for _, e := range res.Timeline {
+		if e.Copy {
+			copies++
+		}
+	}
+	if copies != res.SpeculativeCopies {
+		t.Errorf("timeline copies = %d, result counts %d", copies, res.SpeculativeCopies)
+	}
+	if copies == 0 {
+		t.Error("no copies recorded")
+	}
+}
+
+func TestTimelineWriteTo(t *testing.T) {
+	c := uniformCluster(1, 2, units.GBps)
+	job := mapOnlyJob(0, []int{2}, 10*units.MB, 1)
+	cfg := baseConfig(c, []*workload.Job{job})
+	cfg.RecordTimeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := res.Timeline.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "job\tstage\ttask\tsite") {
+		t.Errorf("missing header: %q", out)
+	}
+	if strings.Count(out, "\n") != 3 { // header + 2 tasks
+		t.Errorf("unexpected line count in:\n%s", out)
+	}
+}

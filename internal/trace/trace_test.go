@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cl := cluster.PaperExample()
+	jobs := workload.Generate(workload.BigData(3, 5, 1))
+	var buf bytes.Buffer
+	if err := Encode(&buf, cl, jobs, "test trace"); err != nil {
+		t.Fatal(err)
+	}
+	cl2, jobs2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.N() != cl.N() {
+		t.Fatalf("cluster sites %d != %d", cl2.N(), cl.N())
+	}
+	for i := range cl.Sites {
+		if cl.Sites[i] != cl2.Sites[i] {
+			t.Fatalf("site %d differs: %v vs %v", i, cl.Sites[i], cl2.Sites[i])
+		}
+	}
+	if len(jobs2) != len(jobs) {
+		t.Fatalf("jobs %d != %d", len(jobs2), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], jobs2[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.NumStages() != b.NumStages() ||
+			a.TotalTasks() != b.TotalTasks() {
+			t.Fatalf("job %d differs", i)
+		}
+		for si := range a.Stages {
+			sa, sb := a.Stages[si], b.Stages[si]
+			if sa.Kind != sb.Kind || sa.OutputRatio != sb.OutputRatio || sa.EstCompute != sb.EstCompute {
+				t.Fatalf("job %d stage %d metadata differs", i, si)
+			}
+			for ti := range sa.Tasks {
+				ta, tb := sa.Tasks[ti], sb.Tasks[ti]
+				if ta.Src != tb.Src || ta.Input != tb.Input || ta.Compute != tb.Compute ||
+					len(ta.Replicas) != len(tb.Replicas) {
+					t.Fatalf("job %d stage %d task %d differs", i, si, ti)
+				}
+				for ri := range ta.Replicas {
+					if ta.Replicas[ri] != tb.Replicas[ri] {
+						t.Fatalf("job %d stage %d task %d replica %d differs", i, si, ti, ri)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripNoCluster(t *testing.T) {
+	jobs := workload.Generate(workload.BigData(4, 2, 2))
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil, jobs, ""); err != nil {
+		t.Fatal(err)
+	}
+	cl, jobs2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != nil {
+		t.Error("expected nil cluster")
+	}
+	if len(jobs2) != 2 {
+		t.Errorf("jobs = %d", len(jobs2))
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"bad version":  `{"version": 99, "jobs": []}`,
+		"bad kind":     `{"version": 1, "jobs": [{"id":0,"stages":[{"kind":"shuffle","tasks":[{"src":0,"input":1,"compute":1}]}]}]}`,
+		"invalid job":  `{"version": 1, "jobs": [{"id":0,"stages":[]}]}`,
+		"negative cap": `{"version": 1, "cluster":[{"name":"x","slots":-1}], "jobs": []}`,
+	}
+	for name, doc := range cases {
+		if _, _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	cl := cluster.EC2EightRegions()
+	jobs := workload.Generate(workload.TPCDS(8, 3, 3))
+	if err := WriteFile(path, cl, jobs, "file test"); err != nil {
+		t.Fatal(err)
+	}
+	cl2, jobs2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.N() != 8 || len(jobs2) != 3 {
+		t.Errorf("got %d sites, %d jobs", cl2.N(), len(jobs2))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile("/nonexistent/trace.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReplicasRoundTrip(t *testing.T) {
+	cfg := workload.BigData(6, 3, 9)
+	cfg.ReplicaCount = 2
+	jobs := workload.Generate(cfg)
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil, jobs, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, jobs2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for ji, j := range jobs2 {
+		for si, s := range j.Stages {
+			for ti, task := range s.Tasks {
+				orig := jobs[ji].Stages[si].Tasks[ti]
+				if len(task.Replicas) != len(orig.Replicas) {
+					t.Fatalf("replica count differs at job %d stage %d task %d", ji, si, ti)
+				}
+				if len(task.Replicas) > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no replicas generated")
+	}
+}

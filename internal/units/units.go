@@ -1,0 +1,24 @@
+// Package units defines the data-size and rate units used throughout the
+// repository. All data volumes are float64 bytes and all times are
+// float64 seconds, matching the decimal units the Tetrium paper uses in
+// its worked examples (1 GB = 1e9 bytes, bandwidth in GB/s).
+package units
+
+// Data sizes in bytes (decimal, as in the paper's arithmetic).
+const (
+	B  = 1.0
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// Bandwidths in bytes per second.
+const (
+	KBps = 1e3
+	MBps = 1e6
+	GBps = 1e9
+	// Mbps / Gbps are bit rates; the paper quotes site links in these.
+	Mbps = 1e6 / 8
+	Gbps = 1e9 / 8
+)

@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tetrium/internal/units"
+)
+
+// GenConfig parameterizes the synthetic trace generator. Zero values get
+// sensible defaults from fill().
+type GenConfig struct {
+	Sites   int   // number of sites input data is spread over
+	Seed    int64 // RNG seed; generation is deterministic per seed
+	NumJobs int
+
+	// MeanInterarrival is the mean of the exponential job interarrival
+	// time in seconds; 0 submits all jobs at time 0.
+	MeanInterarrival float64
+
+	// Stage-chain depth range (inclusive). TPC-DS: 6–16; BigData: 2–5.
+	StagesMin, StagesMax int
+
+	// Tasks in the (root) map stage, drawn log-uniformly, producing the
+	// heavy-tailed job-size mix of production traces.
+	TasksMin, TasksMax int
+
+	// InputPerTask is the bytes each map task processes (the paper's
+	// examples use 100 MB input partitions).
+	InputPerTask float64
+
+	// InputSkewCV controls the non-uniformity of raw input bytes across
+	// sites (Fig. 12b x-axis).
+	InputSkewCV float64
+
+	// SiteWeights biases where input partitions are born. Real
+	// geo-distributed data correlates with site capacity — §2.1: the
+	// volume of session logs at a site is proportional to the sessions
+	// it serves — so experiments pass weights proportional to site size;
+	// nil means uniform. Per-job lognormal noise (InputSkewCV) is
+	// applied on top, reproducing §2.1's observation that a given job's
+	// distribution "might be vastly different than the overall
+	// distribution of data size".
+	SiteWeights []float64
+
+	// IntermediateRatioMin/Max bound the per-stage output ratio, drawn
+	// uniformly (Fig. 12a x-axis is the job-level aggregate).
+	IntermediateRatioMin, IntermediateRatioMax float64
+
+	// TaskSkewCV controls per-task input-size variation within reduce
+	// stages (intermediate data "may not be equally partitioned across
+	// the keys", §3.3; Fig. 12c).
+	TaskSkewCV float64
+
+	// MeanTaskCompute is the mean task computation time in seconds;
+	// per-task durations vary lognormally with TaskComputeCV.
+	MeanTaskCompute float64
+	TaskComputeCV   float64
+
+	// EstErrorFrac injects task-duration estimation error: each stage's
+	// scheduler-visible EstCompute is the true mean scaled by a factor
+	// drawn uniformly from [1-EstErrorFrac, 1+EstErrorFrac] (Fig. 12d).
+	EstErrorFrac float64
+
+	// JoinProb is the probability that a job has a second root map stage
+	// joined into its first shuffle (multi-table queries).
+	JoinProb float64
+
+	// ReplicaCount places each map-task partition at this many extra
+	// sites (chosen per-job with the same skewed site weights), enabling
+	// §8's replica selection. 0 disables replication.
+	ReplicaCount int
+
+	// StragglerProb injects stragglers (§8): each task independently
+	// becomes a straggler with this probability, running
+	// StragglerFactor× longer than its drawn duration. The scheduler's
+	// estimate (EstCompute) excludes stragglers, as an estimator based
+	// on typical finished tasks would.
+	StragglerProb   float64
+	StragglerFactor float64
+}
+
+func (c GenConfig) fill() GenConfig {
+	if c.Sites == 0 {
+		c.Sites = 8
+	}
+	if c.NumJobs == 0 {
+		c.NumJobs = 100
+	}
+	if c.StagesMin == 0 {
+		c.StagesMin = 2
+	}
+	if c.StagesMax == 0 {
+		c.StagesMax = 5
+	}
+	if c.TasksMin == 0 {
+		c.TasksMin = 10
+	}
+	if c.TasksMax == 0 {
+		c.TasksMax = 500
+	}
+	if c.InputPerTask == 0 {
+		c.InputPerTask = 100 * units.MB
+	}
+	if c.IntermediateRatioMax == 0 {
+		c.IntermediateRatioMin = 0.2
+		c.IntermediateRatioMax = 1.0
+	}
+	if c.MeanTaskCompute == 0 {
+		c.MeanTaskCompute = 2.0
+	}
+	return c
+}
+
+// TPCDS returns a generator config with the paper's TPC-DS workload
+// characteristics (§6.2): long stage chains (6–16) that are CPU- and
+// I/O-heavy with substantial intermediate shuffle.
+func TPCDS(sites, numJobs int, seed int64) GenConfig {
+	return GenConfig{
+		Sites: sites, Seed: seed, NumJobs: numJobs,
+		StagesMin: 6, StagesMax: 16,
+		TasksMin: 20, TasksMax: 400,
+		InputPerTask:         100 * units.MB,
+		InputSkewCV:          1.0,
+		IntermediateRatioMin: 0.4, IntermediateRatioMax: 1.2,
+		TaskSkewCV:      0.5,
+		MeanTaskCompute: 2.0, TaskComputeCV: 0.3,
+		JoinProb: 0.5,
+	}
+}
+
+// BigData returns a generator config matching the AMPLab Big Data
+// benchmark (§6.2): short chains (2–5) of scan/join/aggregation queries
+// with smaller intermediate volumes.
+func BigData(sites, numJobs int, seed int64) GenConfig {
+	return GenConfig{
+		Sites: sites, Seed: seed, NumJobs: numJobs,
+		StagesMin: 2, StagesMax: 5,
+		TasksMin: 10, TasksMax: 300,
+		InputPerTask:         100 * units.MB,
+		InputSkewCV:          1.0,
+		IntermediateRatioMin: 0.1, IntermediateRatioMax: 0.6,
+		TaskSkewCV:      0.5,
+		MeanTaskCompute: 1.5, TaskComputeCV: 0.3,
+		JoinProb: 0.3,
+	}
+}
+
+// ProdTrace returns a generator config resembling the production trace
+// that drives the paper's large-scale simulations (§6.1): heavy-tailed
+// job sizes, Poisson arrivals, a broad mix of shapes, skews, and data
+// ratios so that every bucket of Fig. 12 is populated.
+func ProdTrace(sites, numJobs int, seed int64) GenConfig {
+	return GenConfig{
+		Sites: sites, Seed: seed, NumJobs: numJobs,
+		MeanInterarrival: 8,
+		StagesMin:        2, StagesMax: 12,
+		TasksMin: 10, TasksMax: 1000,
+		InputPerTask:         100 * units.MB,
+		InputSkewCV:          1.2,
+		IntermediateRatioMin: 0.05, IntermediateRatioMax: 1.5,
+		TaskSkewCV:      0.8,
+		MeanTaskCompute: 2.0, TaskComputeCV: 0.4,
+		EstErrorFrac: 0.1,
+		JoinProb:     0.4,
+	}
+}
+
+// Generate produces a deterministic trace of jobs from the config.
+func Generate(cfg GenConfig) []*Job {
+	cfg = cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]*Job, 0, cfg.NumJobs)
+	arrival := 0.0
+	for id := 0; id < cfg.NumJobs; id++ {
+		if cfg.MeanInterarrival > 0 && id > 0 {
+			arrival += rng.ExpFloat64() * cfg.MeanInterarrival
+		}
+		jobs = append(jobs, genJob(cfg, rng, id, arrival))
+	}
+	return jobs
+}
+
+// genJob builds one job: one or two root map stages followed by a chain
+// of reduce stages down to the configured depth.
+func genJob(cfg GenConfig, rng *rand.Rand, id int, arrival float64) *Job {
+	depth := cfg.StagesMin + rng.Intn(cfg.StagesMax-cfg.StagesMin+1)
+	nTasks := logUniformInt(rng, cfg.TasksMin, cfg.TasksMax)
+
+	job := &Job{ID: id, Name: fmt.Sprintf("job-%04d", id), Arrival: arrival}
+
+	addMap := func(tasks int) int {
+		siteW := skewedWeights(rng, cfg.Sites, cfg.InputSkewCV)
+		if cfg.SiteWeights != nil {
+			total := 0.0
+			for i := range siteW {
+				siteW[i] *= cfg.SiteWeights[i]
+				total += siteW[i]
+			}
+			if total > 0 {
+				for i := range siteW {
+					siteW[i] /= total
+				}
+			}
+		}
+		st := &Stage{
+			Kind:        MapStage,
+			OutputRatio: ratio(cfg, rng),
+			Tasks:       make([]TaskSpec, tasks),
+		}
+		// Assign each task's partition to a site per the skewed weights,
+		// deterministically by largest remainder so the realized
+		// distribution matches the target closely even for few tasks.
+		counts := apportion(siteW, tasks)
+		ti := 0
+		for site, cnt := range counts {
+			for k := 0; k < cnt; k++ {
+				st.Tasks[ti] = TaskSpec{
+					Src:      site,
+					Replicas: pickReplicas(rng, cfg.Sites, site, cfg.ReplicaCount),
+					Input:    cfg.InputPerTask,
+					Compute:  computeDur(cfg, rng),
+				}
+				ti++
+			}
+		}
+		finishStage(cfg, rng, st)
+		job.Stages = append(job.Stages, st)
+		return len(job.Stages) - 1
+	}
+
+	roots := []int{addMap(nTasks)}
+	join := rng.Float64() < cfg.JoinProb && depth >= 3
+	if join {
+		second := nTasks / 2
+		if second < 1 {
+			second = 1
+		}
+		roots = append(roots, addMap(second))
+	}
+
+	// Intermediate volume entering the first reduce stage.
+	interBytes := 0.0
+	for _, r := range roots {
+		interBytes += job.Stages[r].TotalOutput()
+	}
+
+	deps := roots
+	reduceStages := depth - len(roots)
+	if reduceStages < 1 {
+		reduceStages = 1
+	}
+	tasks := nTasks
+	for s := 0; s < reduceStages; s++ {
+		// Task count decays down the chain, as analytics DAGs aggregate.
+		tasks = tasks/2 + 1
+		st := &Stage{
+			Kind:        ReduceStage,
+			Deps:        deps,
+			OutputRatio: ratio(cfg, rng),
+			Tasks:       make([]TaskSpec, tasks),
+		}
+		shareW := skewedWeights(rng, tasks, cfg.TaskSkewCV)
+		for i := range st.Tasks {
+			st.Tasks[i] = TaskSpec{
+				Src:     -1,
+				Input:   shareW[i] * interBytes,
+				Compute: computeDur(cfg, rng),
+			}
+		}
+		finishStage(cfg, rng, st)
+		job.Stages = append(job.Stages, st)
+		deps = []int{len(job.Stages) - 1}
+		interBytes = st.TotalOutput()
+	}
+	return job
+}
+
+func ratio(cfg GenConfig, rng *rand.Rand) float64 {
+	return cfg.IntermediateRatioMin + rng.Float64()*(cfg.IntermediateRatioMax-cfg.IntermediateRatioMin)
+}
+
+func computeDur(cfg GenConfig, rng *rand.Rand) float64 {
+	if cfg.TaskComputeCV <= 0 {
+		return cfg.MeanTaskCompute
+	}
+	// Lognormal with the requested CV around the configured mean.
+	cv := cfg.TaskComputeCV
+	sigma := math.Sqrt(math.Log1p(cv * cv))
+	mu := -sigma * sigma / 2 // E[exp(N(mu,sigma))] = 1
+	return cfg.MeanTaskCompute * math.Exp(mu+sigma*rng.NormFloat64())
+}
+
+// finishStage injects stragglers and sets the scheduler-visible duration
+// estimate, applying the configured estimation error. The estimate is
+// computed before straggler inflation: an estimator fed by typical
+// finished tasks (§5) does not anticipate stragglers.
+func finishStage(cfg GenConfig, rng *rand.Rand, st *Stage) {
+	mean := st.MeanCompute()
+	errFrac := 0.0
+	if cfg.EstErrorFrac > 0 {
+		errFrac = (rng.Float64()*2 - 1) * cfg.EstErrorFrac
+	}
+	st.EstCompute = mean * (1 + errFrac)
+	if cfg.StragglerProb > 0 && cfg.StragglerFactor > 1 {
+		for i := range st.Tasks {
+			if rng.Float64() < cfg.StragglerProb {
+				st.Tasks[i].Compute *= cfg.StragglerFactor
+			}
+		}
+	}
+}
+
+// AddReplicas returns a deep copy of jobs in which every map-task
+// partition gains count replica sites drawn uniformly from the other
+// sites (§8). Adding replication to an existing trace — rather than
+// regenerating with ReplicaCount set — keeps every other aspect of the
+// workload identical, which ablation experiments need.
+func AddReplicas(jobs []*Job, sites, count int, seed int64) []*Job {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Job, len(jobs))
+	for ji, j := range jobs {
+		nj := *j
+		nj.Stages = make([]*Stage, len(j.Stages))
+		for si, st := range j.Stages {
+			ns := *st
+			ns.Tasks = make([]TaskSpec, len(st.Tasks))
+			copy(ns.Tasks, st.Tasks)
+			if st.Kind == MapStage {
+				for ti := range ns.Tasks {
+					ns.Tasks[ti].Replicas = pickReplicas(rng, sites, ns.Tasks[ti].Src, count)
+				}
+			}
+			nj.Stages[si] = &ns
+		}
+		out[ji] = &nj
+	}
+	return out
+}
+
+// pickReplicas draws count distinct replica sites other than primary.
+func pickReplicas(rng *rand.Rand, sites, primary, count int) []int {
+	if count <= 0 || sites <= 1 {
+		return nil
+	}
+	if count > sites-1 {
+		count = sites - 1
+	}
+	picked := make([]int, 0, count)
+	seen := map[int]bool{primary: true}
+	for len(picked) < count {
+		s := rng.Intn(sites)
+		if !seen[s] {
+			seen[s] = true
+			picked = append(picked, s)
+		}
+	}
+	return picked
+}
+
+// apportion distributes total items over weights by largest remainder,
+// guaranteeing the counts sum to total.
+func apportion(weights []float64, total int) []int {
+	counts := make([]int, len(weights))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := w * float64(total)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+	}
+	// Sort remainders descending (insertion sort; n is small).
+	for i := 1; i < len(rems); i++ {
+		for j := i; j > 0 && rems[j].frac > rems[j-1].frac; j-- {
+			rems[j], rems[j-1] = rems[j-1], rems[j]
+		}
+	}
+	for k := 0; assigned < total; k++ {
+		counts[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}

@@ -1,0 +1,6 @@
+package workload
+
+import "math/rand"
+
+// newRand returns a deterministic RNG for tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

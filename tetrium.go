@@ -1,0 +1,338 @@
+// Package tetrium is a from-scratch reproduction of "Wide-Area Analytics
+// with Multiple Resources" (Hung et al., EuroSys 2018): a multi-resource
+// (compute slots + WAN bandwidth) task-placement and job-scheduling
+// system for data-parallel analytics across heterogeneous
+// geo-distributed sites, together with the simulation substrate, the
+// baselines it is evaluated against, and the paper's full experiment
+// suite.
+//
+// This package is the public facade. A minimal session looks like:
+//
+//	cl := tetrium.NewCluster([]tetrium.Site{
+//		{Name: "us-west", Slots: 16, UpBW: 1 * tetrium.Gbps, DownBW: 1 * tetrium.Gbps},
+//		{Name: "eu",      Slots: 8,  UpBW: 500 * tetrium.Mbps, DownBW: 500 * tetrium.Mbps},
+//	})
+//	jobs := tetrium.GenerateTrace(tetrium.TraceTPCDS, cl, 20, 1)
+//	res, err := tetrium.Simulate(tetrium.Options{
+//		Cluster:   cl,
+//		Jobs:      jobs,
+//		Scheduler: tetrium.SchedulerTetrium,
+//	})
+//
+// Lower-level building blocks (the placement LPs, the event simulator,
+// the fluid-flow WAN model, the LP solver) live under internal/ and are
+// exercised through this API, the example programs under examples/, and
+// the experiment harness in cmd/tetrium-bench.
+package tetrium
+
+import (
+	"fmt"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/order"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/sim"
+	"tetrium/internal/units"
+	"tetrium/internal/workload"
+)
+
+// Bandwidth and data-size units (bytes and bytes/sec).
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+	TB = units.TB
+
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+	MBps = units.MBps
+	GBps = units.GBps
+)
+
+// Site describes one geo-distributed location.
+type Site = cluster.Site
+
+// Cluster is a set of sites with heterogeneous capacities.
+type Cluster = cluster.Cluster
+
+// Job is a DAG of map/reduce stages with parallel tasks.
+type Job = workload.Job
+
+// Result carries per-job response times, WAN usage and scheduler
+// telemetry for a simulation run.
+type Result = sim.Result
+
+// JobResult is one job's outcome within a Result.
+type JobResult = sim.JobResult
+
+// Drop injects a runtime capacity reduction at a site (§4.2).
+type Drop = sim.Drop
+
+// Timeline is the per-task event log captured when
+// Options.RecordTimeline is set; TaskEvent is one entry.
+type (
+	Timeline  = sim.Timeline
+	TaskEvent = sim.TaskEvent
+)
+
+// NewCluster builds a cluster from sites. It panics on negative
+// capacities.
+func NewCluster(sites []Site) *Cluster { return cluster.New(sites) }
+
+// Preset clusters mirroring the paper's deployments.
+var (
+	// PaperExampleCluster is the exact 3-site setup of Fig. 4.
+	PaperExampleCluster = cluster.PaperExample
+	// EC2EightRegions mirrors the paper's 8-region EC2 deployment.
+	EC2EightRegions = cluster.EC2EightRegions
+	// Sim50 is the paper's 50-site trace-driven simulation setting.
+	Sim50 = cluster.Sim50
+)
+
+// Scheduler selects the end-to-end scheduling system to run.
+type Scheduler int
+
+// Schedulers. SchedulerTetrium is the paper's system; the rest are the
+// baselines of §6.1.
+const (
+	// SchedulerTetrium: compute+network-aware LP placement (§3) with
+	// SRPT job scheduling (§4.1).
+	SchedulerTetrium Scheduler = iota
+	// SchedulerIridium: shuffle-optimized reduce placement, site-local
+	// maps, fair job scheduling (Pu et al., SIGCOMM '15).
+	SchedulerIridium
+	// SchedulerInPlace: Spark-default site locality with fair sharing.
+	SchedulerInPlace
+	// SchedulerCentralized: aggregate all input at the most powerful
+	// site and run everything there.
+	SchedulerCentralized
+	// SchedulerTetris: multi-resource packing with pre-configured task
+	// demands (Grandl et al., SIGCOMM '14).
+	SchedulerTetris
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerTetrium:
+		return "tetrium"
+	case SchedulerIridium:
+		return "iridium"
+	case SchedulerInPlace:
+		return "in-place"
+	case SchedulerCentralized:
+		return "centralized"
+	case SchedulerTetris:
+		return "tetris"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// TraceKind selects a synthetic workload family (§6.1).
+type TraceKind int
+
+// Trace kinds.
+const (
+	// TraceTPCDS: long chains of CPU/IO-heavy stages (6–16).
+	TraceTPCDS TraceKind = iota
+	// TraceBigData: short scan/join/aggregate queries (2–5 stages).
+	TraceBigData
+	// TraceProduction: heavy-tailed mix with Poisson arrivals.
+	TraceProduction
+)
+
+// GenerateTrace produces a deterministic synthetic trace of n jobs whose
+// input partitions live on the given cluster's sites.
+func GenerateTrace(kind TraceKind, c *Cluster, n int, seed int64) []*Job {
+	return GenerateTraceOpts(kind, c, n, seed, TraceOptions{})
+}
+
+// TraceOptions enables the §8 extensions in generated traces.
+type TraceOptions struct {
+	// ReplicaCount stores each map partition at this many extra sites
+	// (HDFS-style replication); tasks read from whichever replica is
+	// cheapest (§8 replica selection).
+	ReplicaCount int
+	// StragglerProb / StragglerFactor inject stragglers: each task
+	// independently runs StragglerFactor× longer with the given
+	// probability (pair with Options.Speculation).
+	StragglerProb   float64
+	StragglerFactor float64
+}
+
+// GenerateTraceOpts is GenerateTrace with §8 extension knobs.
+func GenerateTraceOpts(kind TraceKind, c *Cluster, n int, seed int64, topts TraceOptions) []*Job {
+	var cfg workload.GenConfig
+	switch kind {
+	case TraceBigData:
+		cfg = workload.BigData(c.N(), n, seed)
+	case TraceProduction:
+		cfg = workload.ProdTrace(c.N(), n, seed)
+	default:
+		cfg = workload.TPCDS(c.N(), n, seed)
+	}
+	cfg.ReplicaCount = topts.ReplicaCount
+	cfg.StragglerProb = topts.StragglerProb
+	cfg.StragglerFactor = topts.StragglerFactor
+	return workload.Generate(cfg)
+}
+
+// AddReplicas returns a deep copy of jobs in which every map-task
+// partition gains count replica sites (§8). Unlike setting
+// TraceOptions.ReplicaCount at generation time, this leaves every other
+// aspect of an existing trace untouched — use it for with/without
+// ablations.
+func AddReplicas(jobs []*Job, c *Cluster, count int, seed int64) []*Job {
+	return workload.AddReplicas(jobs, c.N(), count, seed)
+}
+
+// Options configures Simulate.
+type Options struct {
+	Cluster   *Cluster
+	Jobs      []*Job
+	Scheduler Scheduler
+
+	// Rho is the WAN-budget knob ρ of §4.3 (0 = minimize WAN usage,
+	// 1 = minimize response time). Values outside [0,1] clamp; the zero
+	// value means 1 unless RhoSet is true.
+	Rho    float64
+	RhoSet bool
+
+	// Eps is the fairness knob ε of §4.4 (0 = complete fairness,
+	// 1 = pure SRPT). The zero value means 1 unless EpsSet is true.
+	Eps    float64
+	EpsSet bool
+
+	// Seed drives randomized tie-breaking.
+	Seed int64
+
+	// Drops injects runtime capacity losses; UpdateK bounds how many
+	// sites a placement may change in response (§4.2, 0 = all).
+	Drops   []Drop
+	UpdateK int
+
+	// BatchWindow batches slot releases into scheduling instances (§5);
+	// 0 schedules immediately on every event.
+	BatchWindow float64
+
+	// Speculation launches redundant copies of straggling tasks (§8);
+	// SpecThreshold is the elapsed-time multiple of the stage's
+	// estimated task duration that triggers a copy (default 2).
+	Speculation   bool
+	SpecThreshold float64
+
+	// RecordTimeline captures a per-task event log in Result.Timeline
+	// (launch / compute start / finish, per site) for schedule
+	// debugging.
+	RecordTimeline bool
+}
+
+// Simulate runs the jobs on the cluster under the chosen scheduler and
+// returns per-job results.
+func Simulate(o Options) (*Result, error) {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// SimulateIsolated runs a single job alone under the same configuration
+// and returns its response time — the slowdown denominator.
+func SimulateIsolated(o Options, job *Job) (float64, error) {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return 0, err
+	}
+	return sim.RunIsolated(cfg, job)
+}
+
+func buildConfig(o Options) (sim.Config, error) {
+	if o.Cluster == nil {
+		return sim.Config{}, fmt.Errorf("tetrium: Options.Cluster is required")
+	}
+	rho := 1.0
+	if o.RhoSet {
+		rho = o.Rho
+	}
+	eps := 1.0
+	if o.EpsSet {
+		eps = o.Eps
+	}
+	cfg := sim.Config{
+		Cluster:        o.Cluster,
+		Jobs:           o.Jobs,
+		MapOrder:       order.RemoteFirstSpread,
+		ReduceOrder:    order.LongestFirst,
+		Rho:            rho,
+		Eps:            eps,
+		Seed:           o.Seed,
+		Drops:          o.Drops,
+		UpdateK:        o.UpdateK,
+		BatchWindow:    o.BatchWindow,
+		Speculation:    o.Speculation,
+		SpecThreshold:  o.SpecThreshold,
+		RecordTimeline: o.RecordTimeline,
+	}
+	switch o.Scheduler {
+	case SchedulerTetrium:
+		cfg.Placer = tetriumPlacer(o.Cluster.N())
+		cfg.Policy = sched.SRPT
+	case SchedulerIridium:
+		cfg.Placer = place.Iridium{}
+		cfg.Policy = sched.Fair
+	case SchedulerInPlace:
+		cfg.Placer = place.InPlace{}
+		cfg.Policy = sched.Fair
+	case SchedulerCentralized:
+		cfg.Placer = place.NewCentralized()
+		cfg.Policy = sched.Fair
+	case SchedulerTetris:
+		cfg.Placer = place.Tetris{}
+		cfg.Policy = sched.SRPT
+	default:
+		return sim.Config{}, fmt.Errorf("tetrium: unknown scheduler %v", o.Scheduler)
+	}
+	return cfg, nil
+}
+
+// tetriumPlacer restricts the map LP's candidate destinations at large
+// site counts (see place.Tetrium.MaxDest).
+func tetriumPlacer(n int) place.Placer {
+	if n > 16 {
+		return place.Tetrium{MaxDest: 10}
+	}
+	return place.Tetrium{}
+}
+
+// PlaceJob computes Tetrium's placement for the first map stage of a job
+// on an idle cluster and returns the estimated stage time plus the
+// per-site task counts — a convenient way to inspect the paper's §3.1 LP
+// without running a simulation.
+func PlaceJob(c *Cluster, job *Job) (estSeconds float64, tasksBySite []int, err error) {
+	if job == nil || job.NumStages() == 0 {
+		return 0, nil, fmt.Errorf("tetrium: empty job")
+	}
+	st := job.Stages[0]
+	if st.Kind != workload.MapStage {
+		return 0, nil, fmt.Errorf("tetrium: job's first stage is not a map stage")
+	}
+	res := place.Resources{Slots: c.Slots(), UpBW: c.UpBW(), DownBW: c.DownBW()}
+	mp, err := tetriumPlacer(c.N()).PlaceMap(res, place.MapRequest{
+		InputBySite: st.InputBySite(c.N()),
+		NumTasks:    st.NumTasks(),
+		TaskCompute: st.EstCompute,
+		WANBudget:   -1,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	tasksBySite = make([]int, c.N())
+	for x := range mp.Tasks {
+		for y, cnt := range mp.Tasks[x] {
+			tasksBySite[y] += cnt
+		}
+	}
+	return mp.EstTime(), tasksBySite, nil
+}

@@ -1,0 +1,34 @@
+# Developer entry points. `make ci` is the full gate: vet, build,
+# race-enabled tests, and the nil-observer allocation guard (which must
+# run without -race — the race detector changes allocation counts, so
+# that test skips itself under `make race`).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench-guard bench fmt
+
+ci: vet build race bench-guard
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Guard the zero-overhead contract: a nil-observer run must stay within
+# 2% of the pre-observability allocation baseline (see
+# obs_overhead_test.go).
+bench-guard:
+	$(GO) test -run TestNilObserverAllocBudget -count=1 -v .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -226,3 +226,18 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEndToEndSimulationObserved is the same run with a Recorder
+// attached — compare against BenchmarkEndToEndSimulation to see the
+// price of full event retention and metrics aggregation.
+func BenchmarkEndToEndSimulationObserved(b *testing.B) {
+	c := Sim50(1)
+	jobs := GenerateTrace(TraceProduction, c, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := NewRecorder()
+		if _, err := Simulate(Options{Cluster: c, Jobs: jobs, Scheduler: SchedulerTetrium, Observer: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

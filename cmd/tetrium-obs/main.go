@@ -1,0 +1,212 @@
+// Command tetrium-obs replays a simulation with the observability
+// layer enabled and writes its artifacts: the JSONL event stream, a
+// Chrome/Perfetto trace_event JSON for Gantt-style visual debugging, a
+// text metrics dump, and the estimate-vs-actual report joining each
+// stage's LP-estimated completion time against its realized time.
+//
+// Usage:
+//
+//	tetrium-obs [flags]
+//
+//	-cluster    ec2-8 | ec2-30 | sim-50 | paper     (default ec2-8)
+//	-trace      tpcds | bigdata | prod               (default tpcds)
+//	-trace-file JSON trace (overrides -trace; may embed a cluster)
+//	-scheduler  tetrium | iridium | in-place | centralized | tetris
+//	-jobs       number of jobs to generate           (default 20)
+//	-seed       generation seed                      (default 1)
+//	-rho, -eps  the §4.3 / §4.4 knobs               (default 1)
+//	-drop       site:frac:time capacity drop, repeatable
+//	-update-k   sites updatable after a drop (0 = all)
+//	-out        output directory                     (default ".")
+//
+// Artifacts written to -out:
+//
+//	events.jsonl    one JSON object per event, deterministic per seed
+//	perfetto.json   load at https://ui.perfetto.dev
+//	metrics.txt     the metrics-registry dump
+//	estimates.txt   per-stage and per-job LP estimation error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tetrium"
+	"tetrium/internal/cluster"
+	"tetrium/internal/trace"
+)
+
+type dropFlags []tetrium.Drop
+
+func (d *dropFlags) String() string { return fmt.Sprint(*d) }
+
+func (d *dropFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want site:frac:time, got %q", v)
+	}
+	site, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return err
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return err
+	}
+	at, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return err
+	}
+	*d = append(*d, tetrium.Drop{Site: site, Frac: frac, Time: at})
+	return nil
+}
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "ec2-8", "cluster preset: ec2-8|ec2-30|sim-50|paper")
+		traceName   = flag.String("trace", "tpcds", "workload: tpcds|bigdata|prod")
+		traceFile   = flag.String("trace-file", "", "JSON trace file (overrides -trace)")
+		schedName   = flag.String("scheduler", "tetrium", "tetrium|iridium|in-place|centralized|tetris")
+		jobs        = flag.Int("jobs", 20, "number of jobs")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		rho         = flag.Float64("rho", 1, "WAN budget knob (0..1)")
+		eps         = flag.Float64("eps", 1, "fairness knob (0..1)")
+		updateK     = flag.Int("update-k", 0, "sites updatable after a drop (0 = all)")
+		outDir      = flag.String("out", ".", "output directory for artifacts")
+	)
+	var drops dropFlags
+	flag.Var(&drops, "drop", "site:frac:time capacity drop (repeatable)")
+	flag.Parse()
+
+	cl, jobList, err := loadWorkload(*clusterName, *traceName, *traceFile, *jobs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := parseScheduler(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+
+	rec := tetrium.NewRecorder()
+	res, err := tetrium.Simulate(tetrium.Options{
+		Cluster:   cl,
+		Jobs:      jobList,
+		Scheduler: sched,
+		Rho:       *rho, RhoSet: true,
+		Eps: *eps, EpsSet: true,
+		Seed:     *seed,
+		Drops:    drops,
+		UpdateK:  *updateK,
+		Observer: rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	writeArtifact(*outDir, "events.jsonl", func(f *os.File) error {
+		return tetrium.WriteEventsJSONL(f, rec.Events())
+	})
+	writeArtifact(*outDir, "perfetto.json", func(f *os.File) error {
+		return tetrium.WritePerfettoTrace(f, rec.Events())
+	})
+	writeArtifact(*outDir, "metrics.txt", func(f *os.File) error {
+		_, err := rec.Registry().WriteText(f)
+		return err
+	})
+	rep := rec.EstimateReport()
+	writeArtifact(*outDir, "estimates.txt", func(f *os.File) error {
+		_, err := rep.WriteText(f)
+		return err
+	})
+
+	fmt.Printf("scheduler        %s\n", sched)
+	fmt.Printf("jobs             %d\n", len(res.Jobs))
+	fmt.Printf("mean response    %.1f s\n", res.MeanResponse())
+	fmt.Printf("makespan         %.1f s\n", res.Makespan)
+	fmt.Printf("events           %d\n", len(rec.Events()))
+	fmt.Printf("LP |err|         mean=%.3f p50=%.3f p95=%.3f (per job)\n",
+		rep.MeanAbsErr, rep.P50, rep.P95)
+	fmt.Printf("artifacts        %s/{events.jsonl,perfetto.json,metrics.txt,estimates.txt}\n", *outDir)
+}
+
+func writeArtifact(dir, name string, write func(*os.File) error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tetrium-obs:", err)
+	os.Exit(1)
+}
+
+func loadWorkload(clusterName, traceName, traceFile string, jobs int, seed int64) (*tetrium.Cluster, []*tetrium.Job, error) {
+	var cl *tetrium.Cluster
+	switch clusterName {
+	case "ec2-8":
+		cl = cluster.EC2EightRegions()
+	case "ec2-30":
+		cl = cluster.EC2ThirtySites(seed)
+	case "sim-50":
+		cl = cluster.Sim50(seed)
+	case "paper":
+		cl = cluster.PaperExample()
+	default:
+		return nil, nil, fmt.Errorf("unknown cluster %q", clusterName)
+	}
+	if traceFile != "" {
+		fileCl, jobList, err := trace.ReadFile(traceFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fileCl != nil {
+			cl = fileCl
+		}
+		return cl, jobList, nil
+	}
+	var kind tetrium.TraceKind
+	switch traceName {
+	case "tpcds":
+		kind = tetrium.TraceTPCDS
+	case "bigdata":
+		kind = tetrium.TraceBigData
+	case "prod":
+		kind = tetrium.TraceProduction
+	default:
+		return nil, nil, fmt.Errorf("unknown trace %q", traceName)
+	}
+	return cl, tetrium.GenerateTrace(kind, cl, jobs, seed), nil
+}
+
+func parseScheduler(name string) (tetrium.Scheduler, error) {
+	switch name {
+	case "tetrium":
+		return tetrium.SchedulerTetrium, nil
+	case "iridium":
+		return tetrium.SchedulerIridium, nil
+	case "in-place":
+		return tetrium.SchedulerInPlace, nil
+	case "centralized":
+		return tetrium.SchedulerCentralized, nil
+	case "tetris":
+		return tetrium.SchedulerTetris, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}

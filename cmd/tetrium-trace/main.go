@@ -122,9 +122,10 @@ func info(args []string) {
 		}
 	}
 	fmt.Printf("jobs: %d over %d sites\n", len(jobs), sites)
-	fmt.Printf("stages/job: median %.0f, max %.0f\n", metrics.Median(stages), metrics.Percentile(stages, 100))
-	fmt.Printf("tasks/job:  median %.0f, p90 %.0f, max %.0f\n",
-		metrics.Median(tasks), metrics.Percentile(tasks, 90), metrics.Percentile(tasks, 100))
+	stageQ := metrics.Percentiles(stages, 50, 100)
+	taskQ := metrics.Percentiles(tasks, 50, 90, 100)
+	fmt.Printf("stages/job: median %.0f, max %.0f\n", stageQ[0], stageQ[1])
+	fmt.Printf("tasks/job:  median %.0f, p90 %.0f, max %.0f\n", taskQ[0], taskQ[1], taskQ[2])
 	fmt.Printf("input/job:  median %.2f GB, total %.2f GB\n",
 		metrics.Median(input)/units.GB, sum(input)/units.GB)
 	if len(jobs) > 0 {

@@ -29,11 +29,14 @@ func Fig2(o Options) (*Table, error) {
 		Title: "Heterogeneity in compute and network capacities (normalized to minimum)",
 		Cols:  []string{"percentile", "compute (x min)", "bandwidth (x min)"},
 	}
-	for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+	ps := []float64{10, 25, 50, 75, 90, 99, 100}
+	slotQ := metrics.Percentiles(h.NormalizedSlots, ps...)
+	bwQ := metrics.Percentiles(h.NormalizedBW, ps...)
+	for i, p := range ps {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("p%.0f", p),
-			f1(metrics.Percentile(h.NormalizedSlots, p)),
-			f1(metrics.Percentile(h.NormalizedBW, p)),
+			f1(slotQ[i]),
+			f1(bwQ[i]),
 		})
 	}
 	t.Notes = append(t.Notes,

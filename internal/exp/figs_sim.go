@@ -188,11 +188,14 @@ func Fig8(o Options) (*Table, *Table, error) {
 		Cols:  []string{"percentile", "vs in-place", "vs centralized"},
 		Notes: []string{"paper: Tetrium does not slow down any job vs either baseline"},
 	}
-	for _, p := range []float64{10, 25, 50, 75, 90} {
+	ps := []float64{10, 25, 50, 75, 90}
+	inpQ := metrics.Percentiles(vsInp, ps...)
+	cenQ := metrics.Percentiles(vsCen, ps...)
+	for i, p := range ps {
 		b.Rows = append(b.Rows, []string{
 			fmt.Sprintf("p%.0f", p),
-			pct(metrics.Percentile(vsInp, p)),
-			pct(metrics.Percentile(vsCen, p)),
+			pct(inpQ[i]),
+			pct(cenQ[i]),
 		})
 	}
 	return t, b, nil

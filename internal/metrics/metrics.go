@@ -22,7 +22,8 @@ func Mean(v []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of v using
-// nearest-rank on a sorted copy. Empty input yields 0.
+// nearest-rank on a sorted copy. Empty input yields 0. For several
+// percentiles of the same data use Percentiles, which sorts once.
 func Percentile(v []float64, p float64) float64 {
 	if len(v) == 0 {
 		return 0
@@ -30,17 +31,43 @@ func Percentile(v []float64, p float64) float64 {
 	s := make([]float64, len(v))
 	copy(s, v)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over data already sorted ascending; it
+// neither copies nor re-sorts.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return s[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return s[rank]
+	return sorted[rank]
+}
+
+// Percentiles returns the requested percentiles of v, sorting the data
+// once — use this for the p50/p95/p99 triples exporters emit instead of
+// repeated Percentile calls, each of which copies and sorts.
+func Percentiles(v []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(v) == 0 {
+		return out
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = PercentileSorted(s, p)
+	}
+	return out
 }
 
 // Median returns the 50th percentile.

@@ -34,6 +34,45 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	v := make([]float64, 101)
+	for i := range v {
+		v[i] = r.Float64() * 100
+	}
+	ps := []float64{0, 10, 25, 50, 75, 90, 99, 100}
+	got := Percentiles(v, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("len = %d, want %d", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(v, p); got[i] != want {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", p, got[i], want)
+		}
+	}
+	// Input must not be mutated (Percentiles sorts a copy).
+	if v[0] != func() float64 { r2 := rand.New(rand.NewSource(7)); return r2.Float64() * 100 }() {
+		t.Error("Percentiles mutated its input")
+	}
+	for i, q := range Percentiles(nil, 50, 90) {
+		if q != 0 {
+			t.Errorf("Percentiles(nil)[%d] = %v", i, q)
+		}
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{{0, 1}, {50, 3}, {100, 5}, {-10, 1}, {110, 5}} {
+		if got := PercentileSorted(sorted, c.p); got != c.want {
+			t.Errorf("PercentileSorted(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if PercentileSorted(nil, 50) != 0 {
+		t.Error("PercentileSorted(nil) != 0")
+	}
+}
+
 func TestCV(t *testing.T) {
 	if CV([]float64{2, 2, 2}) != 0 {
 		t.Error("CV of constant != 0")

@@ -25,6 +25,7 @@ type FlowID int64
 type Flow struct {
 	ID        FlowID
 	Src, Dst  int
+	Bytes     float64 // total bytes requested at AddFlow
 	Remaining float64 // bytes left to transfer
 	Rate      float64 // current bytes/sec (max-min share)
 	Started   float64 // time AddFlow was called
@@ -106,7 +107,7 @@ func (n *Network) AddFlow(src, dst int, bytes float64) FlowID {
 		panic("netsim: flow with non-positive bytes")
 	}
 	n.nextID++
-	f := &Flow{ID: n.nextID, Src: src, Dst: dst, Remaining: bytes, Started: n.now}
+	f := &Flow{ID: n.nextID, Src: src, Dst: dst, Bytes: bytes, Remaining: bytes, Started: n.now}
 	n.flows[f.ID] = f
 	n.flowList = append(n.flowList, f)
 	k := pairKey{src, dst}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"tetrium/internal/metrics"
+)
+
+// Registry is a per-run metrics store: counters, gauges, histograms
+// with exponential buckets, and time series. Metric objects are created
+// on first use and identified by name; WriteText dumps everything in
+// sorted name order so the output is deterministic.
+//
+// Not safe for concurrent use — the simulator is single-threaded.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Counter is a monotonically increasing total.
+type Counter struct{ v float64 }
+
+// Add increases the counter.
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates observations into exponential buckets and keeps
+// the raw samples for exact quantiles. Bucket i counts observations
+// ≤ Start·Growth^i; the last bucket is +Inf.
+type Histogram struct {
+	start, growth float64
+	buckets       []int64
+	samples       []float64
+	sum           float64
+	min, max      float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if len(h.samples) == 0 || v < h.min {
+		h.min = v
+	}
+	if len(h.samples) == 0 || v > h.max {
+		h.max = v
+	}
+	h.samples = append(h.samples, v)
+	h.sum += v
+	bound := h.start
+	for i := 0; i < len(h.buckets)-1; i++ {
+		if v <= bound {
+			h.buckets[i]++
+			return
+		}
+		bound *= h.growth
+	}
+	h.buckets[len(h.buckets)-1]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Quantiles returns exact quantiles of the raw samples at the given
+// percentiles (0–100), sorting once (metrics.Percentiles).
+func (h *Histogram) Quantiles(ps ...float64) []float64 {
+	return metrics.Percentiles(h.samples, ps...)
+}
+
+// Buckets returns the bucket upper bounds and counts; the final bound
+// is +Inf.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = make([]float64, len(h.buckets))
+	b := h.start
+	for i := 0; i < len(h.buckets)-1; i++ {
+		bounds[i] = b
+		b *= h.growth
+	}
+	bounds[len(bounds)-1] = math.Inf(1)
+	return bounds, h.buckets
+}
+
+// Series is an append-only time series of (t, value) samples, e.g. a
+// site's busy-slot count over the run.
+type Series struct {
+	ts, vs []float64
+}
+
+// Append records a sample at time t. Samples must arrive in
+// non-decreasing time order (the simulator guarantees this).
+func (s *Series) Append(t, v float64) {
+	// Collapse same-instant updates: keep the final value at t.
+	if n := len(s.ts); n > 0 && s.ts[n-1] == t {
+		s.vs[n-1] = v
+		return
+	}
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.ts) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) (t, v float64) { return s.ts[i], s.vs[i] }
+
+// Max returns the largest sampled value (0 when empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, v := range s.vs {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TimeMean returns the time-weighted mean of the series over its span,
+// holding each value until the next sample (0 for fewer than 2 samples).
+func (s *Series) TimeMean() float64 {
+	if len(s.ts) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(s.ts); i++ {
+		area += s.vs[i-1] * (s.ts[i] - s.ts[i-1])
+	}
+	span := s.ts[len(s.ts)-1] - s.ts[0]
+	if span <= 0 {
+		return 0
+	}
+	return area / span
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// exponential bucket layout if needed: n buckets with upper bounds
+// start, start·growth, …, plus a +Inf bucket.
+func (r *Registry) Histogram(name string, start, growth float64, n int) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		if n < 1 {
+			n = 1
+		}
+		h = &Histogram{start: start, growth: growth, buckets: make([]int64, n+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it if needed.
+func (r *Registry) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// WriteText dumps every metric, one per line, sorted by kind then name:
+//
+//	counter   lp.solves 42
+//	gauge     jobs.active 0
+//	histogram sched.wall_ns count=7 mean=... p50=... p95=... p99=... max=...
+//	series    slots.busy.site03 samples=19 time_mean=3.2 max=8
+func (r *Registry) WriteText(w io.Writer) (int64, error) {
+	var n int64
+	pr := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		if err := pr("counter   %s %g\n", name, r.counters[name].Value()); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if err := pr("gauge     %s %g\n", name, r.gauges[name].Value()); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		q := h.Quantiles(50, 95, 99)
+		if err := pr("histogram %s count=%d mean=%g p50=%g p95=%g p99=%g max=%g\n",
+			name, h.Count(), h.Mean(), q[0], q[1], q[2], h.max); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		if err := pr("series    %s samples=%d time_mean=%g max=%g\n",
+			name, s.Len(), s.TimeMean(), s.Max()); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Add(2.5)
+	if got := r.Counter("a").Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(4)
+	if got := r.Gauge("g").Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+}
+
+func TestHistogramExponentialBuckets(t *testing.T) {
+	r := NewRegistry()
+	// Bounds: 1, 2, 4, 8, +Inf.
+	h := r.Histogram("h", 1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 7, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 5 || !math.IsInf(bounds[4], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []int64{2, 1, 1, 1, 1} // ≤1: {0.5,1}; ≤2: {1.5}; ≤4: {3}; ≤8: {7}; +Inf: {100}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 113 {
+		t.Errorf("sum = %v", got)
+	}
+	q := h.Quantiles(0, 50, 100)
+	if q[0] != 0.5 || q[2] != 100 {
+		t.Errorf("quantiles = %v", q)
+	}
+}
+
+func TestSeriesTimeMean(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("s")
+	s.Append(0, 2)
+	s.Append(10, 4)
+	s.Append(10, 6) // same-instant update collapses
+	s.Append(20, 0)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	// 2 held for [0,10), 6 for [10,20): mean = (20+60)/20 = 4.
+	if got := s.TimeMean(); got != 4 {
+		t.Errorf("time mean = %v, want 4", got)
+	}
+	if got := s.Max(); got != 6 {
+		t.Errorf("max = %v, want 6", got)
+	}
+}
+
+func TestWriteTextSortedAndDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z.last").Inc()
+		r.Counter("a.first").Add(2)
+		r.Gauge("mid").Set(1)
+		r.Histogram("h", 1, 2, 4).Observe(3)
+		r.Series("s").Append(0, 1)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if _, err := build().WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("text dump not deterministic")
+	}
+	out := b1.String()
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{"counter   a.first 2", "gauge     mid 1", "histogram h count=1", "series    s samples=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tetrium/internal/metrics"
+)
+
+// StageEstimate is one row of the estimate-vs-actual join: the LP's
+// last stamped estimate of a stage's remaining processing time against
+// the time the stage actually took from that stamp to completion.
+type StageEstimate struct {
+	Job, Stage int
+	// EstAt is when the governing (latest) placement was stamped; Est
+	// its LP estimate T_j of the stage's remaining time. A §4.2
+	// re-placement after a resource drop re-stamps both.
+	EstAt, Est float64
+	// FirstEst is the estimate of the stage's initial placement.
+	FirstEst float64
+	// Actual is the realized remaining time: stage completion − EstAt.
+	Actual float64
+	// Err is the signed relative estimation error (Actual − Est)/Est
+	// (0 when Est is 0).
+	Err float64
+	// Restamps counts placements after the first (cache refreshes and
+	// post-drop re-placements).
+	Restamps int
+}
+
+// JobEstimate aggregates a job's stage errors — the per-job estimation
+// error Fig. 12(c) buckets gains by.
+type JobEstimate struct {
+	Job    int
+	Stages int
+	// MeanErr is the mean signed relative error across the job's
+	// stages; MeanAbsErr the mean magnitude; MaxAbsErr the worst stage.
+	MeanErr, MeanAbsErr, MaxAbsErr float64
+}
+
+// EstimateReport joins every stage's LP-estimated completion time
+// against its realized time (the paper's estimation-error axis,
+// Fig. 12): per-stage rows, per-job aggregates, and the distribution of
+// per-job absolute errors.
+type EstimateReport struct {
+	Stages []StageEstimate
+	Jobs   []JobEstimate
+	// P50/P90/P95/P99 are percentiles of the per-job mean absolute
+	// relative error.
+	P50, P90, P95, P99 float64
+	// MeanAbsErr is the mean per-job absolute relative error.
+	MeanAbsErr float64
+}
+
+// EstimateReport builds the estimate-vs-actual report from the
+// recorder's join state. Stages that never completed (or never received
+// a placement) are omitted.
+func (r *Recorder) EstimateReport() *EstimateReport {
+	rep := &EstimateReport{}
+	perJob := make(map[int][]StageEstimate)
+	for k, tr := range r.stages {
+		if !tr.done {
+			continue
+		}
+		row := StageEstimate{
+			Job: k.Job, Stage: k.Stage,
+			EstAt: tr.estAt, Est: tr.est, FirstEst: tr.firstEst,
+			Actual:   tr.doneAt - tr.estAt,
+			Restamps: tr.restamps,
+		}
+		if row.Est != 0 {
+			row.Err = (row.Actual - row.Est) / row.Est
+		}
+		rep.Stages = append(rep.Stages, row)
+		perJob[k.Job] = append(perJob[k.Job], row)
+	}
+	sort.Slice(rep.Stages, func(a, b int) bool {
+		if rep.Stages[a].Job != rep.Stages[b].Job {
+			return rep.Stages[a].Job < rep.Stages[b].Job
+		}
+		return rep.Stages[a].Stage < rep.Stages[b].Stage
+	})
+	var jobErrs []float64
+	for job, rows := range perJob {
+		je := JobEstimate{Job: job, Stages: len(rows)}
+		for _, row := range rows {
+			je.MeanErr += row.Err
+			abs := row.Err
+			if abs < 0 {
+				abs = -abs
+			}
+			je.MeanAbsErr += abs
+			if abs > je.MaxAbsErr {
+				je.MaxAbsErr = abs
+			}
+		}
+		je.MeanErr /= float64(len(rows))
+		je.MeanAbsErr /= float64(len(rows))
+		rep.Jobs = append(rep.Jobs, je)
+	}
+	sort.Slice(rep.Jobs, func(a, b int) bool { return rep.Jobs[a].Job < rep.Jobs[b].Job })
+	for _, je := range rep.Jobs {
+		jobErrs = append(jobErrs, je.MeanAbsErr)
+	}
+	q := metrics.Percentiles(jobErrs, 50, 90, 95, 99)
+	rep.P50, rep.P90, rep.P95, rep.P99 = q[0], q[1], q[2], q[3]
+	rep.MeanAbsErr = metrics.Mean(jobErrs)
+	return rep
+}
+
+// WriteText renders the report: per-stage rows, per-job aggregates, and
+// the error-percentile summary.
+func (rep *EstimateReport) WriteText(w io.Writer) (int64, error) {
+	var n int64
+	pr := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := pr("job\tstage\test_at\test\tactual\terr\trestamps\n"); err != nil {
+		return n, err
+	}
+	for _, s := range rep.Stages {
+		if err := pr("%d\t%d\t%.3f\t%.3f\t%.3f\t%+.3f\t%d\n",
+			s.Job, s.Stage, s.EstAt, s.Est, s.Actual, s.Err, s.Restamps); err != nil {
+			return n, err
+		}
+	}
+	if err := pr("\njob\tstages\tmean_err\tmean_abs_err\tmax_abs_err\n"); err != nil {
+		return n, err
+	}
+	for _, j := range rep.Jobs {
+		if err := pr("%d\t%d\t%+.3f\t%.3f\t%.3f\n",
+			j.Job, j.Stages, j.MeanErr, j.MeanAbsErr, j.MaxAbsErr); err != nil {
+			return n, err
+		}
+	}
+	if err := pr("\nper-job |err|: mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f (%d jobs, %d stages)\n",
+		rep.MeanAbsErr, rep.P50, rep.P90, rep.P95, rep.P99, len(rep.Jobs), len(rep.Stages)); err != nil {
+		return n, err
+	}
+	return n, nil
+}

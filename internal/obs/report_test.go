@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestEstimateReportJoin drives the estimate-vs-actual joiner with a
+// hand-built two-job event sequence with known LP estimates, including a
+// mid-run re-stamp of job 0's reduce stage (as after a §4.2 resource
+// drop) and a placement arriving after its stage finished (which must be
+// ignored).
+func TestEstimateReportJoin(t *testing.T) {
+	r := NewRecorder()
+	feed := []Event{
+		// Job 1, stage 0: estimate exactly right.
+		Placement{T: 0, Job: 1, Stage: 0, Est: 4},
+		StageDone{T: 4, Job: 1, Stage: 0},
+		// Job 0, stage 0: estimated 5, took 7 → err +0.4.
+		Placement{T: 10, Job: 0, Stage: 0, Est: 5},
+		StageDone{T: 17, Job: 0, Stage: 0},
+		// Job 0, stage 1: first estimate 10, re-stamped at t=25 to 8;
+		// done at 30 → actual 5, err (5−8)/8 = −0.375.
+		Placement{T: 20, Job: 0, Stage: 1, Est: 10},
+		Placement{T: 25, Job: 0, Stage: 1, Est: 8, Restamp: true},
+		StageDone{T: 30, Job: 0, Stage: 1},
+		// A placement for an already-finished stage must not re-stamp.
+		Placement{T: 35, Job: 1, Stage: 0, Est: 99},
+		// A never-finished stage is omitted from the report.
+		Placement{T: 40, Job: 2, Stage: 0, Est: 1},
+	}
+	for _, ev := range feed {
+		r.Emit(ev)
+	}
+
+	rep := r.EstimateReport()
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3 (unfinished stage must be omitted)", len(rep.Stages))
+	}
+	// Rows sorted by (job, stage).
+	s00, s01, s10 := rep.Stages[0], rep.Stages[1], rep.Stages[2]
+
+	if s00.Job != 0 || s00.Stage != 0 || !approx(s00.Est, 5) || !approx(s00.Actual, 7) || !approx(s00.Err, 0.4) || s00.Restamps != 0 {
+		t.Errorf("stage (0,0) = %+v", s00)
+	}
+	if s01.Job != 0 || s01.Stage != 1 {
+		t.Fatalf("stage row order wrong: %+v", s01)
+	}
+	if !approx(s01.EstAt, 25) || !approx(s01.Est, 8) || !approx(s01.FirstEst, 10) {
+		t.Errorf("restamp not applied: %+v", s01)
+	}
+	if !approx(s01.Actual, 5) || !approx(s01.Err, -0.375) || s01.Restamps != 1 {
+		t.Errorf("stage (0,1) = %+v", s01)
+	}
+	if s10.Job != 1 || !approx(s10.Est, 4) || !approx(s10.Err, 0) || s10.Restamps != 0 {
+		t.Errorf("post-done placement re-stamped stage (1,0): %+v", s10)
+	}
+
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(rep.Jobs))
+	}
+	j0, j1 := rep.Jobs[0], rep.Jobs[1]
+	if j0.Stages != 2 || !approx(j0.MeanErr, 0.0125) || !approx(j0.MeanAbsErr, 0.3875) || !approx(j0.MaxAbsErr, 0.4) {
+		t.Errorf("job 0 aggregate = %+v", j0)
+	}
+	if j1.Stages != 1 || !approx(j1.MeanAbsErr, 0) {
+		t.Errorf("job 1 aggregate = %+v", j1)
+	}
+
+	// Per-job |err| distribution over {0.3875, 0}.
+	if !approx(rep.MeanAbsErr, 0.19375) {
+		t.Errorf("mean |err| = %v, want 0.19375", rep.MeanAbsErr)
+	}
+	if !approx(rep.P50, 0) || !approx(rep.P99, 0.3875) {
+		t.Errorf("percentiles = p50 %v p99 %v", rep.P50, rep.P99)
+	}
+
+	var b bytes.Buffer
+	if _, err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"job\tstage\t", "restamps", "per-job |err|", "(2 jobs, 3 stages)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateReportEmpty(t *testing.T) {
+	rep := NewRecorder().EstimateReport()
+	if len(rep.Stages) != 0 || len(rep.Jobs) != 0 || rep.MeanAbsErr != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	var b bytes.Buffer
+	if _, err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+}

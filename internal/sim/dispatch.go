@@ -6,6 +6,7 @@ import (
 
 	"tetrium/internal/dynamics"
 	"tetrium/internal/netsim"
+	"tetrium/internal/obs"
 	"tetrium/internal/order"
 	"tetrium/internal/place"
 	"tetrium/internal/sched"
@@ -27,7 +28,7 @@ import (
 func (e *engine) dispatch() {
 	e.needDispatch = false
 	var started time.Time
-	if e.cfg.TrackSchedTime {
+	if e.cfg.TrackSchedTime || e.obs != nil {
 		started = time.Now()
 	}
 	e.instances++
@@ -58,9 +59,10 @@ func (e *engine) dispatch() {
 		}
 	}
 	if len(cands) == 0 || totalFree == 0 {
-		e.recordSchedTime(started)
+		e.endInstance(started, len(cands), totalFree, nil, 0)
 		return
 	}
+	freeAtStart := totalFree
 
 	infos := make([]sched.JobInfo, len(cands))
 	remTasks := make([]int, len(cands))
@@ -83,7 +85,7 @@ func (e *engine) dispatch() {
 	orderIdx := sched.Order(e.cfg.Policy, infos)
 	shares := sched.FairShares(totalFree, remTasks)
 
-	launchedAny := false
+	launched := 0
 	for _, k := range orderIdx {
 		if totalFree <= 0 {
 			break
@@ -99,16 +101,22 @@ func (e *engine) dispatch() {
 			}
 			n := e.launchStage(st, &budget)
 			if n > 0 {
-				launchedAny = true
+				launched += n
 				totalFree -= n
 			}
 		}
 	}
-	_ = launchedAny
 	if e.cfg.Speculation {
 		e.speculate()
 	}
-	e.recordSchedTime(started)
+	var order []int
+	if e.obs != nil {
+		order = make([]int, len(orderIdx))
+		for i, k := range orderIdx {
+			order[i] = cands[k].job.spec.ID
+		}
+	}
+	e.endInstance(started, len(cands), freeAtStart, order, launched)
 }
 
 // speculate launches redundant copies of straggling tasks (§8): any task
@@ -185,11 +193,9 @@ func (e *engine) launchCopy(st *stageRun, ti, site int) {
 		}
 		g := &fetchGroup{flows: make(map[netsim.FlowID]bool)}
 		g.tasks = append(g.tasks, taskRef{st: st, task: ti, site: site, isCopy: true})
-		fid := e.net.AddFlow(e.effSrc(st, ti), site, task.Input)
+		fid := e.addFlow(st.job, e.effSrc(st, ti), site, task.Input)
 		g.flows[fid] = true
 		e.flowOwner[fid] = g
-		e.wanBytes += task.Input
-		st.job.wanBytes += task.Input
 		return
 	}
 	total := 0.0
@@ -214,21 +220,37 @@ func (e *engine) launchCopy(st *stageRun, ti, site int) {
 		if b < 1 {
 			continue
 		}
-		fid := e.net.AddFlow(x, site, b)
+		fid := e.addFlow(st.job, x, site, b)
 		g.flows[fid] = true
 		e.flowOwner[fid] = g
-		e.wanBytes += b
-		st.job.wanBytes += b
 	}
 	if len(g.flows) == 0 {
 		e.startCompute(st, ti, site, true)
 	}
 }
 
-func (e *engine) recordSchedTime(started time.Time) {
-	if e.cfg.TrackSchedTime {
-		e.schedTimes = append(e.schedTimes, time.Since(started))
+// endInstance closes one scheduling instance: it records the legacy
+// TrackSchedTime duration and emits the SchedInstance event carrying
+// the instance's decision summary and wall time, resetting the
+// per-instance LP counters.
+func (e *engine) endInstance(started time.Time, considered, freeSlots int, order []int, launched int) {
+	var wall time.Duration
+	if e.cfg.TrackSchedTime || e.obs != nil {
+		wall = time.Since(started)
 	}
+	if e.cfg.TrackSchedTime {
+		e.schedTimes = append(e.schedTimes, wall)
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.SchedInstance{
+			T: e.now, Seq: e.instances,
+			Considered: considered, Order: order,
+			FreeSlots: freeSlots, Launched: launched,
+			LPSolves: e.instSolves, CacheHits: e.instCacheHits,
+			WallNanos: int64(wall),
+		})
+	}
+	e.instSolves, e.instCacheHits = 0, 0
 }
 
 // ensureCache (re)computes the stage's placement when missing or stale.
@@ -239,11 +261,17 @@ func (e *engine) recordSchedTime(started time.Time) {
 // slot batching, §5).
 func (e *engine) ensureCache(st *stageRun) {
 	if st.cache != nil && len(st.pending) > st.cache.pendingAt/2 {
+		e.instCacheHits++
 		return
 	}
 	prev := st.cache
 	res := place.Resources{Slots: e.capSlots, UpBW: e.availUp(), DownBW: e.availDown()}
 	nPend := len(st.pending)
+	e.instSolves++
+	var solveT0 time.Time
+	if e.obs != nil {
+		solveT0 = time.Now()
+	}
 	if st.spec.Kind == workload.MapStage {
 		input := make([]float64, e.n)
 		for _, ti := range st.pending {
@@ -273,6 +301,7 @@ func (e *engine) ensureCache(st *stageRun) {
 			quotaM:    mp.Tasks,
 		}
 		e.limitUpdate(st, prev)
+		e.emitPlacement(st, "map", mp.TAggr, mp.TMap, nPend, err != nil, solveT0)
 		return
 	}
 	// Reduce stage: the remaining tasks read the not-yet-consumed share
@@ -308,6 +337,29 @@ func (e *engine) ensureCache(st *stageRun) {
 		quota:     quota,
 	}
 	e.limitUpdate(st, prev)
+	e.emitPlacement(st, "reduce", rp.TShufl, rp.TRed, nPend, err != nil, solveT0)
+}
+
+// emitPlacement records one placement decision in the event trace: the
+// LP's time estimates (the SRPT T_j signal and the estimate-vs-actual
+// stamp), the per-site quota after any §4.2 k-limit adjustment, and
+// the solve's wall-clock latency.
+func (e *engine) emitPlacement(st *stageRun, kind string, estNet, estCompute float64, pending int, fallback bool, solveT0 time.Time) {
+	if e.obs == nil {
+		return
+	}
+	quota := make([]int, len(st.cache.quota))
+	copy(quota, st.cache.quota)
+	e.obs.Emit(obs.Placement{
+		T: e.now, Job: st.job.spec.ID, Stage: st.idx,
+		StageKind: kind, Placer: e.cfg.Placer.Name(),
+		Pending: pending,
+		EstNet:  estNet, EstCompute: estCompute, Est: st.cache.est,
+		TasksBySite: quota,
+		Fallback:    fallback,
+		Restamp:     e.restamping,
+		SolveNanos:  time.Since(solveT0).Nanoseconds(),
+	})
 }
 
 // limitUpdate applies the §4.2 k-site update limit: once a resource drop
@@ -572,11 +624,9 @@ func (e *engine) flushBatch(st *stageRun, batch *launchBatch) {
 		if b <= 0 || len(g.tasks) == 0 {
 			continue
 		}
-		fid := e.net.AddFlow(k.src, k.dst, b)
+		fid := e.addFlow(st.job, k.src, k.dst, b)
 		g.flows[fid] = true
 		e.flowOwner[fid] = g
-		e.wanBytes += b
-		st.job.wanBytes += b
 	}
 	keys := make([]dstSub, 0, len(batch.redGroups))
 	for k := range batch.redGroups {
@@ -623,11 +673,9 @@ func (e *engine) flushBatch(st *stageRun, batch *launchBatch) {
 			if b <= 0 || src == dst {
 				continue
 			}
-			fid := e.net.AddFlow(src, dst, b)
+			fid := e.addFlow(st.job, src, dst, b)
 			g.flows[fid] = true
 			e.flowOwner[fid] = g
-			e.wanBytes += b
-			st.job.wanBytes += b
 		}
 		if len(g.flows) == 0 {
 			for _, tr := range g.tasks {
@@ -766,8 +814,13 @@ func (e *engine) removePending(st *stageRun, ti int) {
 }
 
 // reassignCaches re-plans every cached placement after a resource drop,
-// constrained to changing at most UpdateK sites (§4.2).
+// constrained to changing at most UpdateK sites (§4.2). The forced
+// re-solves re-stamp each stage's LP estimate in the event trace
+// (marked Restamp) so the estimate-vs-actual report measures the
+// post-drop plan against post-drop reality.
 func (e *engine) reassignCaches() {
+	e.restamping = true
+	defer func() { e.restamping = false }()
 	for _, j := range e.jobs {
 		if j.done() {
 			continue

@@ -31,6 +31,7 @@ import (
 
 	"tetrium/internal/cluster"
 	"tetrium/internal/netsim"
+	"tetrium/internal/obs"
 	"tetrium/internal/order"
 	"tetrium/internal/place"
 	"tetrium/internal/sched"
@@ -86,8 +87,20 @@ type Config struct {
 	UpdateK int
 
 	// TrackSchedTime records the wall-clock duration of every scheduling
-	// instance (Fig. 7).
+	// instance (Fig. 7) in Result.SchedDurations.
+	//
+	// Deprecated: scheduler-latency tracking now lives in the
+	// observability layer — set Observer to an *obs.Recorder and read
+	// the `sched.wall_ns` histogram from its metrics registry. The
+	// field keeps working for existing callers.
 	TrackSchedTime bool
+
+	// Observer, when non-nil, receives the run's structured event
+	// trace (scheduling instances, placement decisions, task
+	// lifecycle, WAN flows, drops — see internal/obs). A nil Observer
+	// costs nothing: every emission site is guarded by one interface
+	// check and builds no event values.
+	Observer obs.Observer
 
 	// RecordTimeline captures a per-task event log (launch / compute
 	// start / finish, per site) in Result.Timeline for schedule
@@ -200,6 +213,7 @@ func RunIsolated(cfg Config, job *workload.Job) (float64, error) {
 	cfg.Jobs = []*workload.Job{&iso}
 	cfg.Drops = nil
 	cfg.TrackSchedTime = false
+	cfg.Observer = nil // isolated probe runs stay out of the caller's trace
 	res, err := Run(cfg)
 	if err != nil {
 		return 0, err
@@ -271,6 +285,10 @@ type stageRun struct {
 	pending  []int // task indices not yet launched
 	launched int
 	done     int
+
+	// readyAt is when the stage became schedulable — the reference
+	// point for per-task queueing delay in the event trace.
+	readyAt float64
 
 	// Speculation bookkeeping (§8).
 	computeStart []float64 // per task: when computation began (-1 before)
@@ -360,22 +378,31 @@ type engine struct {
 
 	timeline   Timeline
 	openEvents map[timelineKey]int
+
+	// Observability (internal/obs). obs is nil when disabled; every
+	// emission site checks it before building an event value, so the
+	// disabled path allocates nothing.
+	obs           obs.Observer
+	instSolves    int  // LP solves since the last SchedInstance event
+	instCacheHits int  // placement-cache reuses since the last event
+	restamping    bool // current solve is a forced post-drop re-place
 }
 
 func newEngine(cfg Config) *engine {
 	cl := cfg.Cluster
 	n := cl.N()
 	e := &engine{
-		cfg:       cfg,
-		n:         n,
-		net:       netsim.New(cl.UpBW(), cl.DownBW()),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		capSlots:  cl.Slots(),
-		free:      cl.Slots(),
-		upBW:      cl.UpBW(),
-		downBW:    cl.DownBW(),
+		cfg:        cfg,
+		n:          n,
+		net:        netsim.New(cl.UpBW(), cl.DownBW()),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		capSlots:   cl.Slots(),
+		free:       cl.Slots(),
+		upBW:       cl.UpBW(),
+		downBW:     cl.DownBW(),
 		flowOwner:  make(map[netsim.FlowID]*fetchGroup),
 		openEvents: make(map[timelineKey]int),
+		obs:        cfg.Observer,
 	}
 	for _, j := range cfg.Jobs {
 		jr := &jobRun{spec: j, completedAt: -1}
@@ -440,6 +467,17 @@ func (e *engine) run() error {
 		e.net.Advance(t)
 		e.now = t
 		for _, f := range e.net.PopCompleted() {
+			if e.obs != nil {
+				dur := e.now - f.Started
+				rate := 0.0
+				if dur > 0 {
+					rate = f.Bytes / dur
+				}
+				e.obs.Emit(obs.FlowDone{
+					T: e.now, Flow: int64(f.ID), Src: f.Src, Dst: f.Dst,
+					Bytes: f.Bytes, Duration: dur, AvgRate: rate,
+				})
+			}
 			e.onFlowDone(f)
 		}
 		for len(e.events) > 0 && e.events[0].time <= t+timeEps {
@@ -494,6 +532,12 @@ func (e *engine) handle(ev *event) {
 }
 
 func (e *engine) onArrival(j *jobRun) {
+	if e.obs != nil {
+		e.obs.Emit(obs.JobArrival{
+			T: e.now, Job: j.spec.ID, Name: j.spec.Name,
+			Stages: len(j.stages), Tasks: j.remainingTasks,
+		})
+	}
 	for _, st := range j.stages {
 		st.pending = make([]int, len(st.spec.Tasks))
 		st.computeStart = make([]float64, len(st.spec.Tasks))
@@ -505,6 +549,10 @@ func (e *engine) onArrival(j *jobRun) {
 		}
 		if st.spec.Kind == workload.MapStage {
 			st.state = stReady
+			st.readyAt = e.now
+			if e.obs != nil {
+				e.obs.Emit(obs.StageReady{T: e.now, Job: j.spec.ID, Stage: st.idx, Tasks: st.numTasks()})
+			}
 		} else {
 			st.state = stWaiting
 		}
@@ -516,7 +564,7 @@ func (e *engine) onArrival(j *jobRun) {
 func (e *engine) onComputeDone(st *stageRun, task, site int, isCopy bool) {
 	e.free[site]++
 	e.needDispatch = true
-	e.recordFinish(st, task, isCopy)
+	e.recordFinish(st, task, site, isCopy)
 	if st.doneTask[task] {
 		// The other copy finished first; this slot release is the only
 		// effect (the loser runs to completion — no remote kill).
@@ -539,9 +587,18 @@ func (e *engine) onComputeDone(st *stageRun, task, site int, isCopy bool) {
 func (e *engine) onStageDone(st *stageRun) {
 	j := st.job
 	j.stagesDone++
+	if e.obs != nil {
+		e.obs.Emit(obs.StageDone{T: e.now, Job: j.spec.ID, Stage: st.idx})
+	}
 	if j.done() {
 		j.completedAt = e.now
 		e.activeJobs--
+		if e.obs != nil {
+			e.obs.Emit(obs.JobDone{
+				T: e.now, Job: j.spec.ID,
+				Response: e.now - j.spec.Arrival, WANBytes: j.wanBytes,
+			})
+		}
 		return
 	}
 	// Wake downstream stages whose deps are all complete.
@@ -567,7 +624,11 @@ func (e *engine) onStageDone(st *stageRun) {
 			down.interBySite[x] = sum
 		}
 		down.state = stReady
+		down.readyAt = e.now
 		down.cache = nil
+		if e.obs != nil {
+			e.obs.Emit(obs.StageReady{T: e.now, Job: j.spec.ID, Stage: down.idx, Tasks: down.numTasks()})
+		}
 	}
 }
 
@@ -590,8 +651,24 @@ func (e *engine) onDrop(d Drop) {
 	e.net.SetCapacity(d.Site, up, down)
 	e.upBW[d.Site] = up
 	e.downBW[d.Site] = down
+	if e.obs != nil {
+		e.obs.Emit(obs.DropEvent{T: e.now, Site: d.Site, Frac: d.Frac, NewSlots: newSlots})
+	}
 	e.reassignCaches()
 	e.needDispatch = true
+}
+
+// addFlow starts one WAN transfer on behalf of a job, charging the
+// run's and the job's WAN accounting and emitting the trace event —
+// the single choke point for flow creation.
+func (e *engine) addFlow(j *jobRun, src, dst int, bytes float64) netsim.FlowID {
+	fid := e.net.AddFlow(src, dst, bytes)
+	e.wanBytes += bytes
+	j.wanBytes += bytes
+	if e.obs != nil {
+		e.obs.Emit(obs.FlowStart{T: e.now, Flow: int64(fid), Src: src, Dst: dst, Bytes: bytes})
+	}
+	return fid
 }
 
 func (e *engine) onFlowDone(f *netsim.Flow) {
@@ -610,7 +687,7 @@ func (e *engine) onFlowDone(f *netsim.Flow) {
 }
 
 func (e *engine) startCompute(st *stageRun, task, site int, isCopy bool) {
-	e.recordStart(st, task, isCopy)
+	e.recordStart(st, task, site, isCopy)
 	dur := st.spec.Tasks[task].Compute
 	if isCopy {
 		// A speculative copy is assumed to run at the stage's typical

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"tetrium/internal/obs"
 )
 
 // TaskEvent records one task execution in the timeline log (enabled by
@@ -103,8 +105,19 @@ type StageSpan struct {
 // Duration is the stage's wall-clock span.
 func (s StageSpan) Duration() float64 { return s.End - s.Start }
 
-// recordLaunch notes a task (or copy) taking its slot.
+// recordLaunch notes a task (or copy) taking its slot — the single
+// choke point feeding both the legacy timeline log and the obs event
+// trace. recordStart/recordFinish share the same double duty; in the
+// task-start event, a task is queued from its stage's readyAt until its
+// launch (the Wait field), fetching until recordStart, and computing
+// until recordFinish.
 func (e *engine) recordLaunch(st *stageRun, ti, site int, isCopy bool) {
+	if e.obs != nil {
+		e.obs.Emit(obs.TaskLaunch{
+			T: e.now, Job: st.job.spec.ID, Stage: st.idx, Task: ti,
+			Site: site, Copy: isCopy, Wait: e.now - st.readyAt,
+		})
+	}
 	if !e.cfg.RecordTimeline {
 		return
 	}
@@ -122,7 +135,13 @@ func (e *engine) recordLaunch(st *stageRun, ti, site int, isCopy bool) {
 }
 
 // recordStart notes fetch completion / computation start.
-func (e *engine) recordStart(st *stageRun, ti int, isCopy bool) {
+func (e *engine) recordStart(st *stageRun, ti, site int, isCopy bool) {
+	if e.obs != nil {
+		e.obs.Emit(obs.TaskStart{
+			T: e.now, Job: st.job.spec.ID, Stage: st.idx, Task: ti,
+			Site: site, Copy: isCopy,
+		})
+	}
 	if !e.cfg.RecordTimeline {
 		return
 	}
@@ -131,8 +150,20 @@ func (e *engine) recordStart(st *stageRun, ti int, isCopy bool) {
 	}
 }
 
-// recordFinish notes task completion.
-func (e *engine) recordFinish(st *stageRun, ti int, isCopy bool) {
+// recordFinish notes one task attempt completing. Called before the
+// engine's doneTask bookkeeping, so st.doneTask[ti] still describes the
+// *other* attempt: when it is already set, this attempt lost the §8
+// speculation race (Redundant); when a copy finishes first it rescued
+// the task.
+func (e *engine) recordFinish(st *stageRun, ti, site int, isCopy bool) {
+	if e.obs != nil {
+		e.obs.Emit(obs.TaskDone{
+			T: e.now, Job: st.job.spec.ID, Stage: st.idx, Task: ti,
+			Site: site, Copy: isCopy,
+			Redundant: st.doneTask[ti],
+			Rescued:   isCopy && !st.doneTask[ti],
+		})
+	}
 	if !e.cfg.RecordTimeline {
 		return
 	}

@@ -1,0 +1,94 @@
+package tetrium
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The observability layer's contract is zero overhead when disabled: a
+// run with a nil Observer must allocate what it did before the layer
+// existed, because every event construction is guarded behind the
+// engine's single `obs != nil` check. Wall-clock benchmarks are too
+// noisy for a 2% bound in CI, so the guard asserts on allocation counts,
+// which are deterministic for a fixed seed.
+//
+// The baseline was measured on this exact workload before the obs call
+// sites were added. If a legitimate engine change moves it, re-measure
+// with a nil observer and update the constant.
+const (
+	nilObserverBaselineAllocs = 62585
+	nilObserverAllocSlack     = 1.02
+)
+
+func nilObserverWorkload() Options {
+	c := Sim50(1)
+	return Options{
+		Cluster:   c,
+		Jobs:      GenerateTrace(TraceProduction, c, 4, 1),
+		Scheduler: SchedulerTetrium,
+	}
+}
+
+func TestNilObserverAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector changes allocation counts")
+	}
+	opts := nilObserverWorkload()
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Simulate(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	limit := nilObserverBaselineAllocs * nilObserverAllocSlack
+	if allocs > limit {
+		t.Errorf("nil-observer run allocates %.0f objects, budget %.0f (baseline %d × %.2f): the disabled path must not build events",
+			allocs, limit, int(nilObserverBaselineAllocs), nilObserverAllocSlack)
+	}
+}
+
+// TestObserverPublicAPI exercises the facade wiring end to end: a
+// Recorder passed through Options captures the run and all exporters
+// produce output.
+func TestObserverPublicAPI(t *testing.T) {
+	rec := NewRecorder()
+	opts := nilObserverWorkload()
+	opts.Observer = rec
+	res, err := Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("recorder captured no events")
+	}
+
+	var jsonl bytes.Buffer
+	if err := WriteEventsJSONL(&jsonl, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() == 0 || !strings.HasPrefix(jsonl.String(), `{"k":`) {
+		t.Errorf("unexpected JSONL head: %.40q", jsonl.String())
+	}
+
+	var perfetto bytes.Buffer
+	if err := WritePerfettoTrace(&perfetto, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(perfetto.String(), `"traceEvents"`) {
+		t.Error("perfetto export missing traceEvents")
+	}
+
+	var metricsDump bytes.Buffer
+	if _, err := rec.Registry().WriteText(&metricsDump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metricsDump.String(), "counter   jobs.done") {
+		t.Errorf("metrics dump missing jobs.done:\n%.200s", metricsDump.String())
+	}
+
+	rep := rec.EstimateReport()
+	if len(rep.Stages) == 0 || len(rep.Jobs) != len(res.Jobs) {
+		t.Errorf("estimate report covers %d stages / %d jobs, run had %d jobs",
+			len(rep.Stages), len(rep.Jobs), len(res.Jobs))
+	}
+}

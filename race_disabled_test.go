@@ -1,0 +1,5 @@
+//go:build !race
+
+package tetrium
+
+const raceEnabled = false

@@ -27,8 +27,10 @@ package tetrium
 
 import (
 	"fmt"
+	"io"
 
 	"tetrium/internal/cluster"
+	"tetrium/internal/obs"
 	"tetrium/internal/order"
 	"tetrium/internal/place"
 	"tetrium/internal/sched"
@@ -75,6 +77,40 @@ type (
 	Timeline  = sim.Timeline
 	TaskEvent = sim.TaskEvent
 )
+
+// Observability (internal/obs): set Options.Observer to receive the
+// run's structured event trace. Recorder is the standard observer —
+// it retains events for the JSONL/Perfetto exporters, aggregates a
+// metrics registry, and joins LP estimates against realized stage
+// times (EstimateReport, the Fig. 12 error axis).
+type (
+	// Observer receives every simulation event; nil disables tracing
+	// at zero cost.
+	Observer = obs.Observer
+	// ObsEvent is one typed event of the trace.
+	ObsEvent = obs.Event
+	// Recorder is the standard Observer implementation.
+	Recorder = obs.Recorder
+	// Registry is the recorder's metrics store.
+	Registry = obs.Registry
+	// EstimateReport joins LP-estimated against realized stage times.
+	EstimateReport = obs.EstimateReport
+)
+
+// NewRecorder returns an empty Recorder to pass as Options.Observer.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// WriteEventsJSONL writes a recorded event stream as JSON Lines; the
+// output is byte-identical across same-seed runs.
+func WriteEventsJSONL(w io.Writer, events []ObsEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// WritePerfettoTrace writes a recorded event stream as
+// Chrome/Perfetto trace_event JSON (load it at ui.perfetto.dev).
+func WritePerfettoTrace(w io.Writer, events []ObsEvent) error {
+	return obs.WritePerfetto(w, events)
+}
 
 // NewCluster builds a cluster from sites. It panics on negative
 // capacities.
@@ -226,6 +262,13 @@ type Options struct {
 	// (launch / compute start / finish, per site) for schedule
 	// debugging.
 	RecordTimeline bool
+
+	// Observer, when non-nil, receives the run's structured event
+	// trace: scheduling instances, placement decisions with LP
+	// estimates, task lifecycle, WAN flows, and drops. Use
+	// NewRecorder() for the standard implementation. Nil costs
+	// nothing on the simulator's hot paths.
+	Observer Observer
 }
 
 // Simulate runs the jobs on the cluster under the chosen scheduler and
@@ -274,6 +317,7 @@ func buildConfig(o Options) (sim.Config, error) {
 		Speculation:    o.Speculation,
 		SpecThreshold:  o.SpecThreshold,
 		RecordTimeline: o.RecordTimeline,
+		Observer:       o.Observer,
 	}
 	switch o.Scheduler {
 	case SchedulerTetrium:

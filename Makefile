@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench fmt
+.PHONY: ci build vet test race bench-guard bench fmt fuzz-smoke
 
-ci: vet build race bench-guard
+ci: vet build race bench-guard fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ bench-guard:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Short fuzzing passes over the LP solver (every solution certified
+# against the brute-force reference / duality bound) and the placement
+# layer (every placement checked against the paper's conservation
+# equations). Go allows one -fuzz pattern per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test ./internal/check -fuzz=FuzzSolve -fuzztime=10s
+	$(GO) test ./internal/place -fuzz=FuzzPlaceMap -fuzztime=10s
 
 fmt:
 	gofmt -l -w .

@@ -15,6 +15,7 @@
 //	-seed      generation seed                            (default 1)
 //	-drop      site:frac:time capacity drop, repeatable
 //	-update-k  sites updatable after a drop (0 = all)
+//	-check     verify LP certificates and simulator invariants
 //	-v         per-job output
 package main
 
@@ -71,6 +72,7 @@ func main() {
 		updateK     = flag.Int("update-k", 0, "sites updatable after a drop (0 = all)")
 		verbose     = flag.Bool("v", false, "per-job output")
 		timeline    = flag.String("timeline", "", "write a per-task timeline (TSV) to this file")
+		checkRun    = flag.Bool("check", false, "verify LP certificates and simulator invariants throughout the run")
 	)
 	var drops dropFlags
 	flag.Var(&drops, "drop", "site:frac:time capacity drop (repeatable)")
@@ -97,6 +99,7 @@ func main() {
 		Drops:          drops,
 		UpdateK:        *updateK,
 		RecordTimeline: *timeline != "",
+		Check:          *checkRun,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-sim:", err)

@@ -1,0 +1,256 @@
+package check
+
+import (
+	"math"
+
+	"tetrium/internal/lp"
+)
+
+// Brute-force budget: ReferenceSolve enumerates every basis of the
+// standard form, so it only fires when C(cols, rows) stays small. The
+// placement LPs at realistic site counts are far beyond this — they go
+// through the weak-duality certificate instead.
+const (
+	bruteMaxRows   = 8
+	bruteMaxCombos = 25000
+)
+
+// ReferenceSolve computes the optimal objective of p by exhaustively
+// enumerating basic solutions of its standard form — an implementation
+// deliberately independent of the simplex in internal/lp, used as the
+// differential-testing oracle. ok is false when the instance exceeds
+// the enumeration budget or no feasible basic solution exists.
+//
+// The placement LPs mix O(1) fraction coefficients with O(1e10) byte
+// coefficients, so the standard form is equilibrated before the basis
+// sweep: each column is divided by its largest |coefficient| (which
+// rescales the variable but preserves both non-negativity and the
+// objective value, since costs are rescaled inversely), then each row
+// by its largest remaining |coefficient| (which preserves solutions).
+// Without this, Gaussian elimination on a single-basis system cannot
+// tell a genuinely singular basis from cancellation noise, and the
+// sweep silently skips the true optimum.
+func ReferenceSolve(p *lp.Problem) (obj float64, ok bool) {
+	n := p.NumVars()
+	m := p.NumConstraints()
+	if m == 0 {
+		// No constraints: optimum is 0 for non-negative costs,
+		// unbounded otherwise — either way not a useful reference.
+		return 0, false
+	}
+	if m > bruteMaxRows {
+		return 0, false
+	}
+
+	// Standard form: Ax = b with x >= 0, one slack (+1 for LE, -1 for
+	// GE) per inequality row.
+	cols := n
+	for i := 0; i < m; i++ {
+		_, sense, _ := p.Constraint(i)
+		if sense != lp.EQ {
+			cols++
+		}
+	}
+	if cols < m || binomialExceeds(cols, m, bruteMaxCombos) {
+		return 0, false
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	cost := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		cost[j] = p.ObjCoef(lp.Var(j))
+	}
+	slack := n
+	for i := 0; i < m; i++ {
+		coefs, sense, rhs := p.Constraint(i)
+		row := make([]float64, cols)
+		for v, c := range coefs {
+			row[v] = c
+		}
+		switch sense {
+		case lp.LE:
+			row[slack] = 1
+			slack++
+		case lp.GE:
+			row[slack] = -1
+			slack++
+		}
+		a[i] = row
+		b[i] = rhs
+	}
+
+	// Row equilibration first: divide each row (and its rhs) by its
+	// largest |coefficient|, pinning row norms at 1. Solutions are
+	// unchanged; every remaining entry is <= 1 in magnitude.
+	for i := range a {
+		s := 0.0
+		for _, v := range a[i] {
+			if av := math.Abs(v); av > s {
+				s = av
+			}
+		}
+		if s == 0 {
+			continue
+		}
+		for j := range a[i] {
+			a[i][j] /= s
+		}
+		b[i] /= s
+	}
+	// Then column equilibration: substitute x'_j = s_j·x_j with
+	// s_j = max_i |a_ij|. Non-negativity and c·x are invariant, and
+	// every column's largest entry lands at exactly 1, so a basis
+	// column can never look "all tiny" to the pivot cutoff unless the
+	// basis really is near-singular. (Column-before-row would let the
+	// row pass shrink slack columns back to the noise floor.)
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := range a {
+			if v := math.Abs(a[i][j]); v > s {
+				s = v
+			}
+		}
+		if s == 0 {
+			continue // variable absent from every row
+		}
+		for i := range a {
+			a[i][j] /= s
+		}
+		cost[j] /= s
+	}
+
+	best := math.Inf(1)
+	found := false
+	basis := make([]int, m)
+	x := make([]float64, cols)
+	var recurse func(start, k int)
+	recurse = func(start, k int) {
+		if k == m {
+			xB, solved := solveSquare(a, b, basis)
+			if solved && vertexFeasible(a, b, basis, xB, x) {
+				o := 0.0
+				for r, col := range basis {
+					if xB[r] > 0 {
+						o += cost[col] * xB[r]
+					}
+				}
+				if o < best {
+					best = o
+				}
+				found = true
+			}
+			return
+		}
+		for c := start; c <= cols-(m-k); c++ {
+			basis[k] = c
+			recurse(c+1, k+1)
+		}
+	}
+	recurse(0, 0)
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// vertexFeasible checks the basic solution xB for basis against the
+// full equilibrated system: every component non-negative (up to
+// rounding relative to the vertex magnitude) and every row satisfied.
+// The residual re-check rejects garbage vertices from ill-conditioned
+// bases that slipped past the pivot cutoff. scratch is a caller-owned
+// buffer of length cols, reused across the enumeration.
+func vertexFeasible(a [][]float64, b []float64, basis []int, xB, scratch []float64) bool {
+	xinf := 1.0
+	for _, v := range xB {
+		if av := math.Abs(v); av > xinf {
+			xinf = av
+		}
+	}
+	for _, v := range xB {
+		if v < -1e-7*xinf {
+			return false
+		}
+	}
+	for j := range scratch {
+		scratch[j] = 0
+	}
+	for r, col := range basis {
+		scratch[col] = xB[r]
+	}
+	// Rows are equilibrated to unit norm, so a plain comparison of the
+	// row residual against the solution magnitude is a backward error.
+	for i := range a {
+		act := 0.0
+		for j, v := range scratch {
+			act += a[i][j] * v
+		}
+		if math.Abs(act-b[i]) > 1e-6*(xinf+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// binomialExceeds reports whether C(n, k) > limit without overflowing.
+func binomialExceeds(n, k int, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c *= float64(n - k + i)
+		c /= float64(i)
+		if c > float64(limit) {
+			return true
+		}
+	}
+	return false
+}
+
+// solveSquare solves A[:, basis]·x = b by Gaussian elimination with
+// partial pivoting. solved is false for (near-)singular bases. The
+// caller equilibrates A to unit row norms, so the absolute pivot
+// cutoff is a meaningful relative threshold.
+func solveSquare(a [][]float64, b []float64, basis []int) (x []float64, solved bool) {
+	m := len(b)
+	// Dense working copy [A_B | b].
+	w := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		w[i] = make([]float64, m+1)
+		for k, col := range basis {
+			w[i][k] = a[i][col]
+		}
+		w[i][m] = b[i]
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(w[r][col]) > math.Abs(w[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(w[piv][col]) < 1e-9 {
+			return nil, false
+		}
+		w[col], w[piv] = w[piv], w[col]
+		inv := 1 / w[col][col]
+		for k := col; k <= m; k++ {
+			w[col][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for k := col; k <= m; k++ {
+				w[r][k] -= f * w[col][k]
+			}
+		}
+	}
+	x = make([]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = w[i][m]
+	}
+	return x, true
+}

@@ -1,0 +1,42 @@
+// Package check is the verification layer for the Tetrium
+// reproduction: machine-checkable certificates that the hand-rolled LP
+// solver (internal/lp, standing in for Gurobi) and the discrete-event
+// simulator (internal/sim, standing in for Spark) actually uphold the
+// invariants the paper's results rest on.
+//
+// Two halves:
+//
+//   - CertifyLP validates an lp.Solution against its lp.Problem: primal
+//     feasibility residuals, variable non-negativity, objective
+//     consistency, and optimality — by differential comparison against
+//     an independent brute-force vertex enumeration on small instances,
+//     and by a weak-duality gap bound from the solver's simplex
+//     multipliers on large ones.
+//
+//   - SimInvariants accumulates conservation checks a simulation run
+//     must satisfy at every step: WAN bytes conserved across each flow
+//     (enqueue totals equal completion totals), per-site busy slots in
+//     [0, Slots], event-time monotonicity, and per-stage placement
+//     fractions summing to one (the paper's Eq. 5 / Eq. 10).
+//
+// The layer is opt-in (sim.Config.Check / tetrium.Options.Check) and
+// built for debug runs, fuzzing, and CI smokes — not the hot path.
+package check
+
+// Tolerances. All residuals in this package are *relative*: an absolute
+// violation divided by the scale of the quantities involved, so byte
+// constraints with 1e9-scale coefficients and unit task-fraction
+// constraints are judged alike.
+const (
+	// FeasTol bounds primal feasibility residuals and negative
+	// variables/fractions (matches lp.FeasTol, which Solve enforces on
+	// its own output).
+	FeasTol = 1e-6
+	// DualTol bounds dual feasibility residuals and dual sign
+	// violations of the simplex multipliers.
+	DualTol = 1e-5
+	// GapTol bounds the relative optimality gap, both against the
+	// brute-force reference objective and against the weak-duality
+	// bound.
+	GapTol = 1e-4
+)

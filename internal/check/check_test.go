@@ -1,0 +1,248 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tetrium/internal/lp"
+)
+
+// knownLP builds min x0 + x1 s.t. x0 + x1 >= 2, x0 - x1 <= 1 with
+// optimum 2 (e.g. x = (1.5, 0.5) or any point on x0 + x1 = 2).
+func knownLP() *lp.Problem {
+	p := lp.NewProblem()
+	a := p.AddVar("a", 1)
+	b := p.AddVar("b", 1)
+	p.AddConstraint(map[lp.Var]float64{a: 1, b: 1}, lp.GE, 2)
+	p.AddConstraint(map[lp.Var]float64{a: 1, b: -1}, lp.LE, 1)
+	return p
+}
+
+func TestCertifyLPAcceptsCorrectSolve(t *testing.T) {
+	p := knownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifyLP(p, sol)
+	if err != nil {
+		t.Fatalf("certificate rejected a correct solve: %v", err)
+	}
+	if !cert.Differential {
+		t.Fatalf("small instance should certify differentially")
+	}
+	if math.Abs(cert.RefObjective-2) > 1e-9 {
+		t.Fatalf("reference optimum = %g, want 2", cert.RefObjective)
+	}
+}
+
+func TestCertifyLPRejectsCorruptedObjective(t *testing.T) {
+	p := knownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol.Objective *= 2
+	if _, err := CertifyLP(p, sol); err == nil {
+		t.Fatal("certificate accepted a corrupted objective")
+	}
+}
+
+func TestCertifyLPRejectsInfeasiblePoint(t *testing.T) {
+	p := knownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violates x0 + x1 >= 2.
+	sol.X = []float64{0.5, 0.5}
+	sol.Objective = 1
+	if _, err := CertifyLP(p, sol); err == nil {
+		t.Fatal("certificate accepted an infeasible point")
+	}
+}
+
+func TestCertifyLPRejectsSuboptimalPoint(t *testing.T) {
+	p := knownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible but pays 4 instead of 2.
+	sol.X = []float64{2, 2}
+	sol.Objective = 4
+	if _, err := CertifyLP(p, sol); err == nil {
+		t.Fatal("certificate accepted a suboptimal point")
+	}
+}
+
+func TestCertifyLPRejectsNegativeVariable(t *testing.T) {
+	p := knownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol.X = []float64{3, -1}
+	sol.Objective = 2
+	if _, err := CertifyLP(p, sol); err == nil {
+		t.Fatal("certificate accepted a negative variable")
+	}
+}
+
+// TestPropertyBruteMatchesSimplex differentially tests ReferenceSolve
+// against the simplex on seeded random LPs mixing unit- and 1e9-scale
+// rows (the same generator family as FuzzSolve, fixed seeds).
+func TestPropertyBruteMatchesSimplex(t *testing.T) {
+	agree := 0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 1 + rng.Intn(5)
+		p := lp.NewProblem()
+		xstar := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			xstar[j] = rng.Float64() * math.Pow(10, float64(rng.Intn(4)))
+			p.AddVar("v", rng.Float64()*math.Pow(10, float64(rng.Intn(3))))
+		}
+		nr := 1 + rng.Intn(5)
+		for i := 0; i < nr; i++ {
+			rowScale := math.Pow(10, float64(rng.Intn(10)))
+			coefs := make(map[lp.Var]float64, nv)
+			act := 0.0
+			for j := 0; j < nv; j++ {
+				if rng.Float64() < 0.3 {
+					continue
+				}
+				c := (rng.Float64()*2 - 1) * rowScale
+				coefs[lp.Var(j)] = c
+				act += c * xstar[j]
+			}
+			if len(coefs) == 0 {
+				continue
+			}
+			slack := rng.Float64() * rowScale
+			switch rng.Intn(3) {
+			case 0:
+				p.AddConstraint(coefs, lp.LE, act+slack)
+			case 1:
+				p.AddConstraint(coefs, lp.GE, act-slack)
+			default:
+				p.AddConstraint(coefs, lp.EQ, act)
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			continue // infeasible/unbounded/numerically rejected: no oracle comparison
+		}
+		ref, ok := ReferenceSolve(p)
+		if !ok {
+			continue
+		}
+		agree++
+		if gap := math.Abs(sol.Objective-ref) / (1 + math.Abs(ref)); gap > GapTol {
+			t.Fatalf("seed %d: simplex %g vs brute %g (relative gap %.3g)", seed, sol.Objective, ref, gap)
+		}
+	}
+	if agree < 100 {
+		t.Fatalf("only %d/300 instances were brute-comparable; generator drifted", agree)
+	}
+}
+
+func TestReferenceSolveBudget(t *testing.T) {
+	// Over bruteMaxRows constraints: must decline, not hang.
+	p := lp.NewProblem()
+	v := p.AddVar("v", 1)
+	for i := 0; i < bruteMaxRows+1; i++ {
+		p.AddConstraint(map[lp.Var]float64{v: 1}, lp.GE, float64(i))
+	}
+	if _, ok := ReferenceSolve(p); ok {
+		t.Fatal("ReferenceSolve exceeded its row budget")
+	}
+}
+
+func TestMapFractions(t *testing.T) {
+	input := []float64{30, 70}
+	good := [][]float64{{0.1, 0.2}, {0.3, 0.4}}
+	if err := MapFractions(good, input, 0); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	neg := [][]float64{{-0.1, 0.4}, {0.3, 0.4}}
+	if err := MapFractions(neg, input, 0); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	short := [][]float64{{0.1, 0.1}, {0.3, 0.4}}
+	if err := MapFractions(short, input, 0); err == nil {
+		t.Fatal("row mass mismatch accepted")
+	}
+	// One task's worth of slop is allowed when numTasks is given.
+	packer := [][]float64{{0.5, 0}, {0.1, 0.4}}
+	if err := MapFractions(packer, input, 4); err != nil {
+		t.Fatalf("within-one-task row deviation rejected: %v", err)
+	}
+}
+
+func TestReduceFractions(t *testing.T) {
+	if err := ReduceFractions([]float64{0.25, 0.75}); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	if err := ReduceFractions([]float64{0.5, 0.4}); err == nil {
+		t.Fatal("mass deficit accepted")
+	}
+	if err := ReduceFractions([]float64{-0.2, 1.2}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+func TestSimInvariantsCleanRun(t *testing.T) {
+	c := NewSimInvariants()
+	c.EventTime(0)
+	c.FlowStarted(100)
+	c.EventTime(1)
+	c.FlowDone(100, 0)
+	c.Slots(0, 3, 4, false)
+	c.EndOfRun()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run reported violations: %v", err)
+	}
+}
+
+func TestSimInvariantsViolations(t *testing.T) {
+	c := NewSimInvariants()
+	c.EventTime(5)
+	c.EventTime(4) // time reversal
+	c.FlowStarted(100)
+	c.FlowDone(100, 25) // undelivered bytes
+	c.Slots(2, 5, 4, false)
+	c.Slots(2, 5, 4, true) // over capacity but post-drop: allowed
+	c.Slots(3, -1, 4, false)
+	c.FlowStarted(50) // never completes
+	c.EndOfRun()
+	// time reversal + undelivered + overfull + negative + open flow +
+	// byte-conservation mismatch.
+	if c.Count() != 6 {
+		t.Fatalf("recorded %d violations, want 6: %v", c.Count(), c.Violations())
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("Err() nil despite violations")
+	}
+	for _, frag := range []string{"time went backwards", "undelivered", "only 4 slots", "negative", "still open", "not conserved"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestSimInvariantsRecordingCap(t *testing.T) {
+	c := NewSimInvariants()
+	for i := 0; i < maxRecorded+10; i++ {
+		c.Violatef("v%d", i)
+	}
+	if c.Count() != maxRecorded+10 {
+		t.Fatalf("Count = %d, want %d", c.Count(), maxRecorded+10)
+	}
+	if len(c.Violations()) != maxRecorded {
+		t.Fatalf("retained %d messages, want cap %d", len(c.Violations()), maxRecorded)
+	}
+}

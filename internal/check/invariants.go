@@ -1,0 +1,165 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MapFractions verifies a map placement's fraction matrix against the
+// paper's Eq. 5 conservation: every entry non-negative, each source
+// row's mass equal to its share of the stage input, and the grand total
+// equal to one. numTasks loosens the per-row check by one task's worth
+// of fraction so greedy integral packers (Tetris) pass alongside the
+// LP; the grand total stays tight for everyone.
+func MapFractions(frac [][]float64, inputBySite []float64, numTasks int) error {
+	total := 0.0
+	for _, b := range inputBySite {
+		total += b
+	}
+	rowTol := FeasTol
+	if numTasks > 0 {
+		rowTol += 1.0 / float64(numTasks)
+	}
+	grand := 0.0
+	for x := range frac {
+		rowSum := 0.0
+		for y, f := range frac[x] {
+			if f < -FeasTol {
+				return fmt.Errorf("map fraction m[%d][%d] = %g negative", x, y, f)
+			}
+			rowSum += f
+		}
+		grand += rowSum
+		if total > 0 && x < len(inputBySite) {
+			want := inputBySite[x] / total
+			if math.Abs(rowSum-want) > rowTol {
+				return fmt.Errorf("map row %d sums to %g, want input share %g (Eq. 5)", x, rowSum, want)
+			}
+		}
+	}
+	if math.Abs(grand-1) > FeasTol {
+		return fmt.Errorf("map fractions sum to %g, want 1 (Eq. 5)", grand)
+	}
+	return nil
+}
+
+// ReduceFractions verifies a reduce placement's fraction vector against
+// Eq. 10: entries non-negative and summing to one.
+func ReduceFractions(frac []float64) error {
+	sum := 0.0
+	for x, f := range frac {
+		if f < -FeasTol {
+			return fmt.Errorf("reduce fraction r[%d] = %g negative", x, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > FeasTol {
+		return fmt.Errorf("reduce fractions sum to %g, want 1 (Eq. 10)", sum)
+	}
+	return nil
+}
+
+// SimInvariants accumulates invariant checks over one simulation run.
+// The engine (internal/sim) calls the hooks when Config.Check is set;
+// violations collect rather than abort so one run reports everything it
+// broke. Not safe for concurrent use — the engine is single-threaded.
+type SimInvariants struct {
+	violations []string
+	total      int
+
+	lastT float64
+
+	bytesStarted float64 // Σ bytes handed to netsim
+	bytesDone    float64 // Σ bytes of completed flows
+	openFlows    int
+}
+
+// maxRecorded bounds the retained violation list; further violations
+// are counted but not stored.
+const maxRecorded = 32
+
+// NewSimInvariants returns an empty checker.
+func NewSimInvariants() *SimInvariants {
+	return &SimInvariants{lastT: math.Inf(-1)}
+}
+
+// Violatef records one violation.
+func (c *SimInvariants) Violatef(format string, args ...interface{}) {
+	c.total++
+	if len(c.violations) < maxRecorded {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// EventTime checks simulated-time monotonicity: the engine must never
+// process an event earlier than one it already processed.
+func (c *SimInvariants) EventTime(t float64) {
+	if t < c.lastT-1e-9 {
+		c.Violatef("time went backwards: %g after %g", t, c.lastT)
+	}
+	if t > c.lastT {
+		c.lastT = t
+	}
+}
+
+// FlowStarted records bytes entering the WAN.
+func (c *SimInvariants) FlowStarted(bytes float64) {
+	if bytes <= 0 {
+		c.Violatef("flow started with non-positive bytes %g", bytes)
+		return
+	}
+	c.openFlows++
+	c.bytesStarted += bytes
+}
+
+// FlowDone records a flow completing. remaining is the flow's residual
+// byte count at completion, which must be (numerically) zero: every
+// byte enqueued must have crossed the WAN.
+func (c *SimInvariants) FlowDone(bytes, remaining float64) {
+	c.openFlows--
+	c.bytesDone += bytes
+	if math.Abs(remaining) > 1e-3*(1+bytes) {
+		c.Violatef("flow completed with %g of %g bytes undelivered", remaining, bytes)
+	}
+}
+
+// Slots checks a site's occupancy: running tasks must never be negative
+// and never exceed capacity — except transiently above capacity right
+// after a §4.2 drop, while tasks launched under the old capacity drain
+// (dropped reports that state).
+func (c *SimInvariants) Slots(site, running, capacity int, dropped bool) {
+	if running < 0 {
+		c.Violatef("site %d has %d running tasks (negative)", site, running)
+	}
+	if running > capacity && !dropped {
+		c.Violatef("site %d has %d running tasks with only %d slots", site, running, capacity)
+	}
+}
+
+// EndOfRun closes the ledger: no flow may still be open and every byte
+// enqueued must have been delivered.
+func (c *SimInvariants) EndOfRun() {
+	if c.openFlows != 0 {
+		c.Violatef("%d WAN flows still open at end of run", c.openFlows)
+	}
+	if diff := math.Abs(c.bytesStarted - c.bytesDone); diff > 1e-6*(1+c.bytesStarted) {
+		c.Violatef("WAN bytes not conserved: %g enqueued, %g delivered", c.bytesStarted, c.bytesDone)
+	}
+}
+
+// Count returns the number of violations recorded so far.
+func (c *SimInvariants) Count() int { return c.total }
+
+// Violations returns the recorded violation messages (capped; Count
+// has the true total).
+func (c *SimInvariants) Violations() []string { return c.violations }
+
+// Err summarizes the violations as one error, or nil when the run was
+// clean.
+func (c *SimInvariants) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s):\n  %s", c.total, strings.Join(c.violations, "\n  "))
+}

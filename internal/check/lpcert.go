@@ -1,0 +1,152 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"tetrium/internal/lp"
+)
+
+// LPCertificate is the evidence CertifyLP gathered for one solve.
+type LPCertificate struct {
+	// PrimalResidual is the worst relative constraint violation (or
+	// negative-variable excess) of the solution point.
+	PrimalResidual float64
+	// DualResidual is the worst relative dual feasibility violation of
+	// the solution's simplex multipliers (0 when the brute-force path
+	// was used instead).
+	DualResidual float64
+	// Gap is the relative optimality gap bound: against the brute-force
+	// reference objective when Differential, else the weak-duality gap
+	// objective − y·b.
+	Gap float64
+	// Differential reports whether a brute-force reference solve
+	// independently confirmed optimality (small instances only).
+	Differential bool
+	// RefObjective is the brute-force reference optimum (Differential
+	// certificates only).
+	RefObjective float64
+}
+
+// CertifyLP verifies that s is a correct optimal solution of p. It
+// returns the gathered certificate and a non-nil error describing the
+// first failed check. On small instances optimality is proven
+// differentially against an independent vertex-enumeration solve; on
+// large ones it is bounded through weak duality using the solution's
+// simplex multipliers.
+func CertifyLP(p *lp.Problem, s *lp.Solution) (LPCertificate, error) {
+	var cert LPCertificate
+	if s == nil {
+		return cert, fmt.Errorf("check: nil solution")
+	}
+	if len(s.X) != p.NumVars() {
+		return cert, fmt.Errorf("check: solution has %d variables, problem has %d", len(s.X), p.NumVars())
+	}
+
+	// Variable non-negativity (x >= 0 is implicit in the model).
+	xscale := 0.0
+	for _, v := range s.X {
+		if a := math.Abs(v); a > xscale {
+			xscale = a
+		}
+	}
+	for j, v := range s.X {
+		if v < -FeasTol*(1+xscale) {
+			return cert, fmt.Errorf("check: variable %s = %g negative beyond tolerance", p.VarName(lp.Var(j)), v)
+		}
+	}
+
+	// Primal feasibility residuals.
+	cert.PrimalResidual = p.Residual(s.X)
+	if cert.PrimalResidual > FeasTol {
+		return cert, fmt.Errorf("check: primal infeasible: relative residual %.3g > %.3g", cert.PrimalResidual, float64(FeasTol))
+	}
+
+	// Objective consistency: the reported objective must be c·x.
+	obj := 0.0
+	for j, v := range s.X {
+		obj += p.ObjCoef(lp.Var(j)) * v
+	}
+	if math.Abs(obj-s.Objective) > FeasTol*(1+math.Abs(obj)) {
+		return cert, fmt.Errorf("check: reported objective %g differs from c·x = %g", s.Objective, obj)
+	}
+
+	// Optimality. Small instances: independent brute-force reference.
+	if ref, ok := ReferenceSolve(p); ok {
+		cert.Differential = true
+		cert.RefObjective = ref
+		cert.Gap = (s.Objective - ref) / (1 + math.Abs(ref))
+		if math.Abs(cert.Gap) > GapTol {
+			return cert, fmt.Errorf("check: objective %g differs from brute-force optimum %g (relative gap %.3g)", s.Objective, ref, cert.Gap)
+		}
+		return cert, nil
+	}
+
+	// Large instances: weak-duality bound from the simplex multipliers.
+	if len(s.Dual) != p.NumConstraints() {
+		return cert, fmt.Errorf("check: solution has %d duals, problem has %d constraints", len(s.Dual), p.NumConstraints())
+	}
+	if err := cert.checkDuals(p, s); err != nil {
+		return cert, err
+	}
+	dualObj := p.DualObjective(s.Dual)
+	cert.Gap = (s.Objective - dualObj) / (1 + math.Abs(s.Objective))
+	// Weak duality: any dual-feasible y has y·b <= c·x, and at an
+	// optimum the simplex multipliers close the gap. A significantly
+	// negative gap means the duals are inconsistent; a significantly
+	// positive one means the point is suboptimal.
+	if math.Abs(cert.Gap) > GapTol {
+		return cert, fmt.Errorf("check: duality gap %.3g (objective %g, dual bound %g)", cert.Gap, s.Objective, dualObj)
+	}
+	return cert, nil
+}
+
+// checkDuals verifies the multiplier signs (y <= 0 on LE rows, y >= 0 on
+// GE rows, free on EQ rows) and dual feasibility A'y <= c, all with
+// relative tolerances.
+func (cert *LPCertificate) checkDuals(p *lp.Problem, s *lp.Solution) error {
+	yscale := 0.0
+	for _, y := range s.Dual {
+		if a := math.Abs(y); a > yscale {
+			yscale = a
+		}
+	}
+	// Dual feasibility is a per-column statement; accumulate A'y by
+	// walking the rows once.
+	aty := make([]float64, p.NumVars())
+	atyScale := make([]float64, p.NumVars())
+	for i := 0; i < p.NumConstraints(); i++ {
+		coefs, sense, _ := p.Constraint(i)
+		y := s.Dual[i]
+		switch sense {
+		case lp.LE:
+			if y > DualTol*(1+yscale) {
+				return fmt.Errorf("check: dual %d = %g positive on a <= row", i, y)
+			}
+		case lp.GE:
+			if y < -DualTol*(1+yscale) {
+				return fmt.Errorf("check: dual %d = %g negative on a >= row", i, y)
+			}
+		}
+		for v, c := range coefs {
+			term := y * c
+			aty[v] += term
+			if a := math.Abs(term); a > atyScale[v] {
+				atyScale[v] = a
+			}
+		}
+	}
+	worst := 0.0
+	for j := range aty {
+		c := p.ObjCoef(lp.Var(j))
+		viol := (aty[j] - c) / (1 + math.Abs(c) + atyScale[j])
+		if viol > worst {
+			worst = viol
+		}
+	}
+	cert.DualResidual = worst
+	if worst > DualTol {
+		return fmt.Errorf("check: dual infeasible: relative residual %.3g > %.3g", worst, float64(DualTol))
+	}
+	return nil
+}

@@ -53,6 +53,13 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	// OptimalDegenerate marks a successful solve in which phase 1 could
+	// not drive every artificial variable out of the basis: some
+	// constraint row is redundant (linearly dependent on the others) and
+	// its artificial stayed basic at level zero. The point returned is
+	// still optimal, but callers doing sensitivity analysis — and the
+	// internal/check certifier — should know the basis is degenerate.
+	OptimalDegenerate
 )
 
 func (s Status) String() string {
@@ -63,6 +70,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case OptimalDegenerate:
+		return "optimal (degenerate basis)"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -73,6 +82,30 @@ var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
 )
+
+// FeasTol is the relative feasibility tolerance of Solve's self-check:
+// a returned point whose worst constraint violation (or negative
+// variable) exceeds this relative residual is rejected with a
+// *ResidualError instead of being handed to the caller.
+const FeasTol = 1e-6
+
+// ResidualError reports that the simplex terminated at a point that
+// violates the problem's own constraints beyond FeasTol — a numerical
+// failure, not a property of the model. Row is the worst-violated
+// constraint index, or -1 when the violation is a negative variable
+// (then BadVar identifies it). Residual is the relative violation.
+type ResidualError struct {
+	Residual float64
+	Row      int
+	BadVar   Var
+}
+
+func (e *ResidualError) Error() string {
+	if e.Row < 0 {
+		return fmt.Sprintf("lp: solution infeasible: variable %d negative beyond tolerance (relative residual %.3g)", int(e.BadVar), e.Residual)
+	}
+	return fmt.Sprintf("lp: solution infeasible: constraint %d violated (relative residual %.3g)", e.Row, e.Residual)
+}
 
 // Var identifies a decision variable within a Problem.
 type Var int
@@ -134,9 +167,25 @@ func (p *Problem) AddConstraint(coefs map[Var]float64, sense Sense, rhs float64)
 
 // Solution is the result of a successful solve.
 type Solution struct {
+	// Status is Optimal, or OptimalDegenerate when phase 1 left a
+	// redundant row's artificial variable basic at level zero.
 	Status    Status
 	Objective float64
 	X         []float64 // value per variable, indexed by Var
+
+	// Dual holds one simplex multiplier per constraint (indexed like
+	// AddConstraint order; rows dropped as trivially redundant get 0).
+	// Sign convention for this minimization form: y_i <= 0 for LE rows,
+	// y_i >= 0 for GE rows, free for EQ rows, and weak duality gives
+	// DualObjective() <= Objective for any dual-feasible y. The
+	// internal/check certifier uses these to bound the optimality gap
+	// without re-solving.
+	Dual []float64
+
+	// MaxResidual is the largest relative constraint violation of X
+	// against the original problem (always <= FeasTol for a returned
+	// solution; larger residuals become a *ResidualError instead).
+	MaxResidual float64
 }
 
 // Value returns the solved value of v.
@@ -158,7 +207,7 @@ const (
 // tableau swamps the small coefficients and the simplex can terminate
 // at an infeasible point.
 func (p *Problem) Solve() (*Solution, error) {
-	sp, colScale, err := p.equilibrate()
+	sp, scale, err := p.equilibrate()
 	if err != nil {
 		return nil, err
 	}
@@ -171,17 +220,165 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	x := t.extract()
 	for j := range x {
-		x[j] /= colScale[j]
+		x[j] /= scale.col[j]
+	}
+	// Clamp small negatives the simplex leaves behind on degenerate
+	// bases; anything beyond the feasibility tolerance is a genuine
+	// numerical failure and is rejected below rather than leaked to the
+	// caller as a negative task fraction.
+	xscale := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > xscale {
+			xscale = a
+		}
+	}
+	negTol := FeasTol * (1 + xscale)
+	for j, v := range x {
+		if v < 0 {
+			if v < -negTol {
+				return nil, &ResidualError{Residual: -v / (1 + xscale), Row: -1, BadVar: Var(j)}
+			}
+			x[j] = 0
+		}
+	}
+	// Self-check: residuals of the clamped point against the *original*
+	// (unscaled) constraints.
+	worst, worstRow := 0.0, -1
+	for i := range p.rows {
+		if r := p.rowResidual(i, x, xscale); r > worst {
+			worst, worstRow = r, i
+		}
+	}
+	if worst > FeasTol {
+		return nil, &ResidualError{Residual: worst, Row: worstRow}
+	}
+	// Recover dual multipliers for the original rows from the final
+	// tableau's simplex multipliers (undoing the row/column scaling).
+	dual := make([]float64, len(p.rows))
+	yScaled := t.duals()
+	for i, si := range scale.rowMap {
+		if si >= 0 {
+			dual[i] = yScaled[si] * scale.objFactor / scale.row[si]
+		}
 	}
 	obj := 0.0
 	for i, c := range p.obj {
 		obj += c * x[i]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+	status := Optimal
+	if t.degenerate {
+		status = OptimalDegenerate
+	}
+	return &Solution{Status: status, Objective: obj, X: x, Dual: dual, MaxResidual: worst}, nil
 }
 
-// equilibrate returns a scaled copy of the problem plus the column
-// scales (substitution x'_j = colScale_j · x_j, so x_j = x'_j/colScale_j
+// rowResidual returns the relative violation of constraint i at point x:
+// the absolute violation divided by the row's activity scale, so a 1e9-
+// coefficient byte constraint and a unit fraction constraint are judged
+// by the same yardstick.
+func (p *Problem) rowResidual(i int, x []float64, xinf float64) float64 {
+	r := p.rows[i]
+	// Backward-error yardstick: a violation counts relative to
+	// ‖a_i‖∞·‖x‖∞ (plus the rhs magnitude), the perturbation scale a
+	// backward-stable solve can actually promise. Measuring against the
+	// *achieved* activity terms instead would demand more than floating
+	// point can deliver on rows whose large terms cancel to a small
+	// activity, or whose variables all sit at noise level.
+	act, cmax := 0.0, 0.0
+	for v, c := range r.coefs {
+		act += c * x[v]
+		if a := math.Abs(c); a > cmax {
+			cmax = a
+		}
+	}
+	scale := 1 + math.Abs(r.rhs)
+	if s := cmax * xinf; s > scale {
+		scale = s
+	}
+	viol := 0.0
+	switch r.sense {
+	case LE:
+		viol = act - r.rhs
+	case GE:
+		viol = r.rhs - act
+	case EQ:
+		viol = math.Abs(act - r.rhs)
+	}
+	if viol <= 0 {
+		return 0
+	}
+	return viol / scale
+}
+
+// Residual returns the relative feasibility violation of an arbitrary
+// point x (indexed by Var) against the problem: the worst constraint
+// residual, or the worst negative-variable excess. Exported for the
+// internal/check certifier.
+func (p *Problem) Residual(x []float64) float64 {
+	worst := 0.0
+	xscale := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > xscale {
+			xscale = a
+		}
+	}
+	for _, v := range x {
+		if v < 0 {
+			if r := -v / (1 + xscale); r > worst {
+				worst = r
+			}
+		}
+	}
+	for i := range p.rows {
+		if r := p.rowResidual(i, x, xscale); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Constraint returns a copy of constraint i's row: its coefficient map,
+// sense and right-hand side. Exported for the internal/check certifier
+// and for diagnostics.
+func (p *Problem) Constraint(i int) (coefs map[Var]float64, sense Sense, rhs float64) {
+	r := p.rows[i]
+	cp := make(map[Var]float64, len(r.coefs))
+	for v, c := range r.coefs {
+		cp[v] = c
+	}
+	return cp, r.sense, r.rhs
+}
+
+// ObjCoef returns the objective coefficient of v.
+func (p *Problem) ObjCoef(v Var) float64 { return p.obj[v] }
+
+// VarName returns the diagnostic name v was added with.
+func (p *Problem) VarName(v Var) string { return p.names[v] }
+
+// DualObjective evaluates the dual objective y·b for a multiplier
+// vector indexed like the constraints. By weak duality it lower-bounds
+// the optimal objective whenever y is dual-feasible.
+func (p *Problem) DualObjective(y []float64) float64 {
+	obj := 0.0
+	for i, r := range p.rows {
+		obj += y[i] * r.rhs
+	}
+	return obj
+}
+
+// scaling records the transformations equilibrate applied, so Solve can
+// map the scaled solution and its dual multipliers back to the original
+// problem: x_j = x'_j/col_j, y_i = y'_si · objFactor / row_si where
+// si = rowMap[i] (−1 for rows dropped as trivially redundant).
+type scaling struct {
+	col       []float64
+	row       []float64 // indexed by scaled-row position
+	rowMap    []int     // original row index → scaled row index or −1
+	objFactor float64
+}
+
+// equilibrate returns a scaled copy of the problem plus the applied
+// scaling (substitution x'_j = colScale_j · x_j, so x_j = x'_j/colScale_j
 // recovers the original solution). It applies a few rounds of
 // geometric-mean row/column scaling, which shrinks the coefficient
 // *spread* — a max-based scaling would leave columns mixing 10¹⁰-scale
@@ -189,7 +386,7 @@ func (p *Problem) Solve() (*Solution, error) {
 // relative magnitude, below the solver's zero thresholds. Rows whose
 // coefficients are all zero are checked for trivial consistency and
 // dropped.
-func (p *Problem) equilibrate() (*Problem, []float64, error) {
+func (p *Problem) equilibrate() (*Problem, scaling, error) {
 	n := len(p.obj)
 	// Dense-ish working copy of the rows, dropping trivial ones.
 	type row struct {
@@ -198,7 +395,9 @@ func (p *Problem) equilibrate() (*Problem, []float64, error) {
 		rhs   float64
 	}
 	rows := make([]row, 0, len(p.rows))
-	for _, r := range p.rows {
+	rowMap := make([]int, len(p.rows))
+	for i, r := range p.rows {
+		rowMap[i] = -1
 		nonzero := false
 		for _, c := range r.coefs {
 			if c != 0 {
@@ -213,19 +412,24 @@ func (p *Problem) equilibrate() (*Problem, []float64, error) {
 				r.sense == EQ && math.Abs(r.rhs) <= 1e-12:
 				continue
 			default:
-				return nil, nil, ErrInfeasible
+				return nil, scaling{}, ErrInfeasible
 			}
 		}
 		cp := make(map[Var]float64, len(r.coefs))
 		for v, c := range r.coefs {
 			cp[v] = c
 		}
+		rowMap[i] = len(rows)
 		rows = append(rows, row{coefs: cp, sense: r.sense, rhs: r.rhs})
 	}
 
 	colScale := make([]float64, n)
 	for j := range colScale {
 		colScale[j] = 1
+	}
+	rowScale := make([]float64, len(rows))
+	for i := range rowScale {
+		rowScale[i] = 1
 	}
 	const rounds = 6
 	for iter := 0; iter < rounds; iter++ {
@@ -254,6 +458,7 @@ func (p *Problem) equilibrate() (*Problem, []float64, error) {
 				rows[i].coefs[v] /= g
 			}
 			rows[i].rhs /= g
+			rowScale[i] *= g
 		}
 		// Column pass.
 		minC := make([]float64, n)
@@ -290,6 +495,29 @@ func (p *Problem) equilibrate() (*Problem, []float64, error) {
 		}
 	}
 
+	// Final row pass: pin every row's largest coefficient at exactly 1.
+	// The geometric-mean rounds shrink the *spread* but can leave a row
+	// uniformly tiny (or huge) in absolute terms; the simplex works with
+	// absolute epsilons, so a row sitting at 1e-10 has violations the
+	// solver cannot see that map back to large relative violations of
+	// the original constraint.
+	for i := range rows {
+		maxA := 0.0
+		for _, c := range rows[i].coefs {
+			if a := math.Abs(c); a > maxA {
+				maxA = a
+			}
+		}
+		if maxA == 0 {
+			continue
+		}
+		for v := range rows[i].coefs {
+			rows[i].coefs[v] /= maxA
+		}
+		rows[i].rhs /= maxA
+		rowScale[i] *= maxA
+	}
+
 	sp := &Problem{obj: make([]float64, n), names: p.names}
 	objMax := 0.0
 	for j := range sp.obj {
@@ -303,10 +531,14 @@ func (p *Problem) equilibrate() (*Problem, []float64, error) {
 			sp.obj[j] /= objMax
 		}
 	}
+	objFactor := objMax
+	if objFactor == 0 {
+		objFactor = 1
+	}
 	for _, r := range rows {
 		sp.rows = append(sp.rows, constraint{coefs: r.coefs, sense: r.sense, rhs: r.rhs})
 	}
-	return sp, colScale, nil
+	return sp, scaling{col: colScale, row: rowScale, rowMap: rowMap, objFactor: objFactor}, nil
 }
 
 // tableau holds the dense simplex tableau. Columns: the n structural
@@ -322,6 +554,16 @@ type tableau struct {
 	b       []float64   // m
 	basis   []int       // column index basic in each row
 	artCols []int       // column indices of artificial variables
+
+	// idCol[i] is the column that started as row i's identity column
+	// (+1 slack for LE rows, +1 artificial for GE/EQ rows): after
+	// pivoting it holds B⁻¹e_i, from which the simplex multipliers are
+	// read. flip[i] marks rows negated during rhs normalization (their
+	// multiplier changes sign). degenerate is set when phase 1 leaves a
+	// redundant row's artificial basic.
+	idCol      []int
+	flip       []bool
+	degenerate bool
 }
 
 func newTableau(p *Problem) *tableau {
@@ -344,6 +586,8 @@ func newTableau(p *Problem) *tableau {
 	t.a = make([][]float64, m)
 	t.b = make([]float64, m)
 	t.basis = make([]int, m)
+	t.idCol = make([]int, m)
+	t.flip = make([]bool, m)
 
 	// First pass: normalize rows so rhs >= 0 and count artificials.
 	type normRow struct {
@@ -355,6 +599,7 @@ func newTableau(p *Problem) *tableau {
 	for i, r := range p.rows {
 		nr := normRow{coefs: r.coefs, sense: r.sense, rhs: r.rhs}
 		if nr.rhs < 0 {
+			t.flip[i] = true
 			flipped := make(map[Var]float64, len(nr.coefs))
 			for v, c := range nr.coefs {
 				flipped[v] = -c
@@ -387,17 +632,20 @@ func newTableau(p *Problem) *tableau {
 		case LE:
 			row[slackAt] = 1
 			t.basis[i] = slackAt
+			t.idCol[i] = slackAt
 			slackAt++
 		case GE:
 			row[slackAt] = -1
 			slackAt++
 			row[artAt] = 1
 			t.basis[i] = artAt
+			t.idCol[i] = artAt
 			t.artCols = append(t.artCols, artAt)
 			artAt++
 		case EQ:
 			row[artAt] = 1
 			t.basis[i] = artAt
+			t.idCol[i] = artAt
 			t.artCols = append(t.artCols, artAt)
 			artAt++
 		}
@@ -499,16 +747,34 @@ func (t *tableau) simplexLoop(cost []float64, allowed func(col int) bool) error 
 		if enter == -1 {
 			return nil // optimal
 		}
-		// Leaving row: min ratio test.
+		// Leaving row: min ratio test. Ties (ubiquitous on degenerate
+		// vertices, where every ratio is zero) are broken by the largest
+		// pivot element — chained pivots on near-zero elements multiply
+		// roundoff until the tableau's reduced costs no longer describe
+		// the real problem and phase 1 misreports feasible instances as
+		// infeasible. Under Bland's rule the smallest basis index wins
+		// instead, preserving the anti-cycling guarantee.
 		leave := -1
 		bestRatio := math.Inf(1)
 		for i := 0; i < t.m; i++ {
 			aij := t.a[i][enter]
-			if aij > eps {
-				ratio := t.b[i] / aij
-				if ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+			if aij <= eps {
+				continue
+			}
+			ratio := t.b[i] / aij
+			switch {
+			case ratio < bestRatio-eps:
+				bestRatio = ratio
+				leave = i
+			case leave >= 0 && ratio < bestRatio+eps:
+				if ratio < bestRatio {
 					bestRatio = ratio
+				}
+				if bland {
+					if t.basis[i] < t.basis[leave] {
+						leave = i
+					}
+				} else if aij > t.a[leave][enter] {
 					leave = i
 				}
 			}
@@ -567,10 +833,36 @@ func (t *tableau) phase1() error {
 		// If the row is all zeros over non-artificial columns it is a
 		// redundant constraint; leaving the artificial basic at level 0
 		// is harmless as long as it never re-enters (phase 2 disallows
-		// artificial columns from entering).
-		_ = pivoted
+		// artificial columns from entering) — but the basis is then
+		// degenerate, which Solve surfaces via Status.
+		if !pivoted {
+			t.degenerate = true
+		}
 	}
 	return nil
+}
+
+// duals reads the phase-2 simplex multipliers y = c_B·B⁻¹ off the final
+// tableau: column idCol[i] started as e_i, so it now holds B⁻¹e_i and
+// y_i = Σ_k cost[basis[k]]·a[k][idCol[i]]. Rows negated during rhs
+// normalization get their multiplier's sign restored.
+func (t *tableau) duals() []float64 {
+	cost := make([]float64, t.ncols)
+	copy(cost, t.p.obj)
+	y := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		v := 0.0
+		for k, bc := range t.basis {
+			if cb := cost[bc]; cb != 0 {
+				v += cb * t.a[k][t.idCol[i]]
+			}
+		}
+		if t.flip[i] {
+			v = -v
+		}
+		y[i] = v
+	}
+	return y
 }
 
 // phase2 minimizes the true objective over the feasible region found in
@@ -585,16 +877,18 @@ func (t *tableau) phase2() error {
 	return t.simplexLoop(cost, func(col int) bool { return !isArt[col] })
 }
 
-// extract reads off structural variable values from the tableau.
+// extract reads off structural variable values from the tableau. It
+// deliberately does NOT clamp negative basic values: Solve judges the
+// unscaled point against the feasibility tolerance and either zeroes
+// near-zero negatives or rejects the solve with a ResidualError. (An
+// earlier version clamped only values in (−1e-7, 0) here, in scaled
+// space — larger negative residue, amplified by the column unscaling,
+// leaked out as negative task fractions.)
 func (t *tableau) extract() []float64 {
 	x := make([]float64, t.n)
 	for i, bc := range t.basis {
 		if bc < t.n {
-			v := t.b[i]
-			if v < 0 && v > -1e-7 {
-				v = 0
-			}
-			x[bc] = v
+			x[bc] = t.b[i]
 		}
 	}
 	return x

@@ -466,3 +466,100 @@ func BenchmarkSolveMedium(b *testing.B) {
 		}
 	}
 }
+
+// TestOptimalDegenerateStatus checks that a redundant equality row —
+// whose artificial variable phase 1 cannot drive out of the basis — is
+// surfaced through Solution.Status rather than silently reported as a
+// plain optimum.
+func TestOptimalDegenerateStatus(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar("a", 1)
+	b := p.AddVar("b", 2)
+	p.AddConstraint(map[Var]float64{a: 1, b: 1}, EQ, 2)
+	p.AddConstraint(map[Var]float64{a: 2, b: 2}, EQ, 4) // same row, doubled
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != OptimalDegenerate {
+		t.Fatalf("Status = %v, want %v", sol.Status, OptimalDegenerate)
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective = %g, want 2 (a=2, b=0)", sol.Objective)
+	}
+}
+
+// TestDualsOnKnownLP verifies the recovered multipliers on a textbook
+// LP where the dual optimum is known in closed form, along with the
+// sign convention and strong duality.
+func TestDualsOnKnownLP(t *testing.T) {
+	// min x0 + x1  s.t.  x0 + x1 >= 2 (tight), x0 - x1 <= 1.
+	// Dual optimum: y0 = 1 on the GE row, y1 = 0, y·b = 2.
+	p := NewProblem()
+	a := p.AddVar("a", 1)
+	b := p.AddVar("b", 1)
+	p.AddConstraint(map[Var]float64{a: 1, b: 1}, GE, 2)
+	p.AddConstraint(map[Var]float64{a: 1, b: -1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Dual) != 2 {
+		t.Fatalf("got %d duals, want 2", len(sol.Dual))
+	}
+	if y := sol.Dual[0]; math.Abs(y-1) > 1e-6 {
+		t.Fatalf("dual of the binding GE row = %g, want 1", y)
+	}
+	if y := sol.Dual[1]; math.Abs(y) > 1e-6 {
+		t.Fatalf("dual of the slack LE row = %g, want 0", y)
+	}
+	if d := p.DualObjective(sol.Dual); math.Abs(d-sol.Objective) > 1e-6 {
+		t.Fatalf("strong duality violated: y·b = %g, c·x = %g", d, sol.Objective)
+	}
+}
+
+// TestDegeneratePhase1TieBreaking is a regression test for a feasible
+// placement LP that phase 1 misreported as infeasible. Every phase-1
+// pivot on this instance is degenerate (ratio 0); the old ratio test
+// broke ties by smallest basis index and chained pivots on near-zero
+// elements until the tableau's reduced costs were numerical garbage
+// claiming "optimal" with an artificial still basic at 2.63. Ties must
+// be broken by pivot magnitude. (Found by FuzzPlaceMap; the original
+// instance is one data site sending to a 5-site cluster with two
+// zero-slot sites.)
+func TestDegeneratePhase1TieBreaking(t *testing.T) {
+	p := NewProblem()
+	ta := p.AddVar("Taggr", 1)
+	tm := p.AddVar("Tmap", 1)
+	m := make([]Var, 5)
+	for y := 0; y < 5; y++ {
+		m[y] = p.AddVar("m", 0)
+	}
+	I := 1.0365282669627573e+10
+	p.AddConstraint(map[Var]float64{ta: -5.489631607874615e+07, m[0]: I, m[1]: I, m[2]: I, m[3]: I}, LE, 0)
+	p.AddConstraint(map[Var]float64{ta: -6.470483629833934e+06, m[0]: I}, LE, 0)
+	p.AddConstraint(map[Var]float64{ta: -1.3379323138188007e+08, m[1]: I}, LE, 0)
+	p.AddConstraint(map[Var]float64{ta: -8.76164076137738e+06, m[2]: I}, LE, 0)
+	p.AddConstraint(map[Var]float64{ta: -9.323021690261489e+06, m[3]: I}, LE, 0)
+	p.AddConstraint(map[Var]float64{tm: -1, m[0]: 71.5778445343317}, LE, 0)
+	p.AddConstraint(map[Var]float64{tm: -1, m[1]: 1.0736676680149757e+09}, LE, 0)
+	p.AddConstraint(map[Var]float64{m[1]: 1}, EQ, 0)
+	p.AddConstraint(map[Var]float64{tm: -1, m[2]: 29.824101889304877}, LE, 0)
+	p.AddConstraint(map[Var]float64{tm: -1, m[3]: 1.0736676680149757e+09}, LE, 0)
+	p.AddConstraint(map[Var]float64{m[3]: 1}, EQ, 0)
+	p.AddConstraint(map[Var]float64{tm: -1, m[4]: 16.024890567387693}, LE, 0)
+	p.AddConstraint(map[Var]float64{m[0]: 1, m[1]: 1, m[2]: 1, m[3]: 1, m[4]: 1}, EQ, 1)
+
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("feasible LP reported: %v", err)
+	}
+	// Keeping all data at the lone source site is optimal: no transfer,
+	// one compute wave of 16.02s.
+	if math.Abs(sol.Objective-16.024890567387693) > 1e-6 {
+		t.Fatalf("objective = %g, want 16.0249 (pure in-place placement)", sol.Objective)
+	}
+	if math.Abs(sol.Value(m[4])-1) > 1e-6 {
+		t.Fatalf("m[4] = %g, want 1", sol.Value(m[4]))
+	}
+}

@@ -8,7 +8,11 @@ import "math"
 // locally") and places reduce tasks to minimize shuffle time alone,
 // assuming compute slots are plentiful — exactly the omission Tetrium's
 // §2.2 example exploits.
-type Iridium struct{}
+type Iridium struct {
+	// Check certifies the shuffle LP solve through internal/check, like
+	// Tetrium.Check. Debug/CI use; off by default.
+	Check bool
+}
 
 // Name implements Placer.
 func (Iridium) Name() string { return "iridium" }
@@ -24,8 +28,8 @@ func (Iridium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 
 // PlaceReduce solves the shuffle-only LP (the paper's Eq. 6 with only
 // T_shufl in the objective).
-func (Iridium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
-	return solveReduce(res, req, false)
+func (i Iridium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
+	return solveReduce(res, req, false, i.Check)
 }
 
 // InPlace is the site-locality baseline (§6.1a): default Spark behaviour
@@ -97,7 +101,10 @@ func (c Centralized) PlaceMap(res Resources, req MapRequest) (MapPlacement, erro
 		}
 	}
 	if total <= 0 {
-		m[0][dst] = 1
+		// Zero-byte partitions "live" at the destination already: the
+		// diagonal entry records the mass without inventing a 0→dst flow
+		// from site 0 in WAN accounting.
+		m[dst][dst] = 1
 	}
 	frac := make([]float64, n)
 	frac[dst] = 1
@@ -146,8 +153,13 @@ func (Tetris) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		m[x] = make([]float64, n)
 	}
 	if total <= 0 {
-		copy(m[0], uniformOverSlots(res.Slots))
+		// Diagonal attribution (as in Tetrium's zero-input path): parking
+		// the whole row on site 0 would read as phantom site-0 egress in
+		// WAN accounting derived from the fraction matrix.
 		frac := uniformOverSlots(res.Slots)
+		for y, f := range frac {
+			m[y][y] = f
+		}
 		return finishMap(res, req, m, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
 	}
 

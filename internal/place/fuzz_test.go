@@ -1,0 +1,104 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrium/internal/check"
+	"tetrium/internal/units"
+)
+
+// FuzzPlaceMap drives Tetrium's map placement (certify mode, so every
+// LP solve is certificate-checked internally) over randomized clusters
+// and stage shapes, asserting the returned fraction matrix obeys the
+// paper's Eq. 5 conservation and the task matrix apportions exactly the
+// requested task count.
+func FuzzPlaceMap(f *testing.F) {
+	for _, s := range []int64{1, 2, 3, 77, -12345} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		res := Resources{
+			Slots:  make([]int, n),
+			UpBW:   make([]float64, n),
+			DownBW: make([]float64, n),
+		}
+		anySlots := false
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.15 {
+				res.Slots[i] = 0 // zero-slot sites are legal sources
+			} else {
+				res.Slots[i] = 1 + rng.Intn(100)
+				anySlots = true
+			}
+			res.UpBW[i] = (10 + rng.Float64()*1990) * units.Mbps
+			res.DownBW[i] = (10 + rng.Float64()*1990) * units.Mbps
+		}
+		if !anySlots {
+			res.Slots[0] = 1 + rng.Intn(100)
+		}
+		input := make([]float64, n)
+		for i := range input {
+			if rng.Float64() < 0.25 {
+				continue // sites without data
+			}
+			input[i] = rng.Float64() * 30 * units.GB
+		}
+		req := MapRequest{
+			InputBySite: input,
+			NumTasks:    1 + rng.Intn(300),
+			TaskCompute: 0.1 + rng.Float64()*5,
+			WANBudget:   -1,
+		}
+		tet := Tetrium{Check: true}
+		if rng.Float64() < 0.3 {
+			tet.MaxDest = 1 + rng.Intn(n)
+		}
+		mp, err := tet.PlaceMap(res, req)
+		if err != nil {
+			t.Fatalf("PlaceMap failed under certification (seed %d): %v", seed, err)
+		}
+		if cerr := check.MapFractions(mp.Frac, input, req.NumTasks); cerr != nil {
+			t.Fatalf("map placement violates Eq. 5 (seed %d): %v", seed, cerr)
+		}
+		total := 0
+		for x := range mp.Tasks {
+			for y, c := range mp.Tasks[x] {
+				if c < 0 {
+					t.Fatalf("negative task count at m[%d][%d] (seed %d)", x, y, seed)
+				}
+				if c > 0 && res.Slots[y] == 0 && req.TotalInput() > 0 {
+					t.Fatalf("tasks placed at zero-slot site %d (seed %d)", y, seed)
+				}
+				total += c
+			}
+		}
+		if total != req.NumTasks {
+			t.Fatalf("apportioned %d tasks, want %d (seed %d)", total, req.NumTasks, seed)
+		}
+
+		// Reduce placement under the same cluster.
+		redReq := ReduceRequest{
+			InterBySite: input,
+			NumTasks:    1 + rng.Intn(200),
+			TaskCompute: 0.1 + rng.Float64()*3,
+			WANBudget:   -1,
+		}
+		rp, err := tet.PlaceReduce(res, redReq)
+		if err != nil {
+			t.Fatalf("PlaceReduce failed under certification (seed %d): %v", seed, err)
+		}
+		if cerr := check.ReduceFractions(rp.Frac); cerr != nil {
+			t.Fatalf("reduce placement violates Eq. 10 (seed %d): %v", seed, cerr)
+		}
+		rTotal := 0
+		for _, c := range rp.Tasks {
+			rTotal += c
+		}
+		if rTotal != redReq.NumTasks {
+			t.Fatalf("apportioned %d reduce tasks, want %d (seed %d)", rTotal, redReq.NumTasks, seed)
+		}
+	})
+}

@@ -4,8 +4,71 @@ import (
 	"fmt"
 	"math"
 
+	"tetrium/internal/check"
 	"tetrium/internal/lp"
 )
+
+// solveLP is the single choke point for every LP solve in this package.
+// With certify set it validates the returned solution against the
+// problem via the internal/check certifier (primal residuals,
+// non-negativity, optimality bound) and converts a failed certificate
+// into an error, so callers in debug/check mode surface numerical
+// breakdowns instead of silently using a bad placement.
+func solveLP(prob *lp.Problem, certify bool) (*lp.Solution, error) {
+	sol, err := prob.Solve()
+	if err != nil || !certify {
+		return sol, err
+	}
+	if _, cerr := check.CertifyLP(prob, sol); cerr != nil {
+		return nil, fmt.Errorf("place: LP certificate failed: %w", cerr)
+	}
+	return sol, nil
+}
+
+// normalizeMapFracs repairs an LP fraction matrix after negative residue
+// has been clamped to zero: each source row is rescaled to exactly its
+// Eq. 5 input share. A row whose mass was clamped away entirely falls
+// back to locality (the always-feasible diagonal).
+func normalizeMapFracs(m [][]float64, inputBySite []float64) {
+	total := 0.0
+	for _, b := range inputBySite {
+		total += b
+	}
+	if total <= 0 {
+		return
+	}
+	for x := range m {
+		want := inputBySite[x] / total
+		rowSum := 0.0
+		for _, f := range m[x] {
+			rowSum += f
+		}
+		switch {
+		case rowSum > 0:
+			scale := want / rowSum
+			for y := range m[x] {
+				m[x][y] *= scale
+			}
+		case want > 0:
+			m[x][x] = want
+		}
+	}
+}
+
+// normalizeReduceFracs rescales a reduce fraction vector to sum exactly
+// to one (Eq. 10) after negative residue was clamped.
+func normalizeReduceFracs(frac []float64) {
+	sum := 0.0
+	for _, f := range frac {
+		sum += f
+	}
+	if sum <= 0 {
+		return
+	}
+	for x := range frac {
+		frac[x] /= sum
+	}
+}
 
 // Tetrium is the paper's compute- and network-aware placer (§3). For a
 // map stage it solves the LP of §3.1 over task fractions m_{x,y}; for a
@@ -26,6 +89,12 @@ type Tetrium struct {
 	// bandwidth-poor site, so the dropped columns are (near-)always zero
 	// in the unrestricted optimum. Zero means no restriction.
 	MaxDest int
+
+	// Check certifies every LP solve through internal/check (primal
+	// residuals, non-negativity, optimality bound). A failed
+	// certificate becomes an error from PlaceMap/PlaceReduce instead of
+	// a silent fallback placement. Debug/CI use; off by default.
+	Check bool
 }
 
 // Name implements Placer.
@@ -58,8 +127,14 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		for x := range m {
 			m[x] = make([]float64, n)
 		}
-		// Attribute all (zero-byte) partitions to site 0 for bookkeeping.
-		copy(m[0], frac)
+		// Synthetic per-site attribution: each destination "holds" its
+		// own zero-byte partitions (diagonal). An earlier version parked
+		// the whole row on site 0 "for bookkeeping", which any WAN
+		// accounting derived from the fraction matrix read as phantom
+		// site-0 egress.
+		for y, f := range frac {
+			m[y][y] = f
+		}
 		return finishMap(res, req, m, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
 	}
 
@@ -173,8 +248,11 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		}
 	}
 
-	sol, err := prob.Solve()
+	sol, err := solveLP(prob, t.Check)
 	if err != nil {
+		if t.Check {
+			return MapPlacement{}, err
+		}
 		// Defensive fallback: leave data in place (always feasible when
 		// every data site has slots); otherwise spread over slots.
 		return fallbackMap(res, req), nil
@@ -194,6 +272,7 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 			}
 		}
 	}
+	normalizeMapFracs(m, req.InputBySite)
 	return refineMap(res, req, m), nil
 }
 
@@ -396,15 +475,15 @@ func sortBy(idx []int, less func(a, b int) bool) {
 //	     t_red·n_red·r_x / S_x ≤ T_red           ∀x  (Eq. 9)
 //	     Σ_x r_x = 1, r ≥ 0                          (Eq. 10)
 //	     Σ_x I_x·(1−r_x) ≤ W                         (§4.3)
-func (Tetrium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
-	return solveReduce(res, req, true)
+func (t Tetrium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
+	return solveReduce(res, req, true, t.Check)
 }
 
 // solveReduce implements both Tetrium's reduce LP and — with
 // includeCompute=false — Iridium's shuffle-only variant (§3.2: "The key
 // difference is that we extend the model to jointly minimize the time
 // spent in network transfer and in computation").
-func solveReduce(res Resources, req ReduceRequest, includeCompute bool) (ReducePlacement, error) {
+func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool) (ReducePlacement, error) {
 	if err := res.validate(); err != nil {
 		return ReducePlacement{}, err
 	}
@@ -476,8 +555,11 @@ func solveReduce(res Resources, req ReduceRequest, includeCompute bool) (ReduceP
 		prob.AddConstraint(row, lp.LE, req.WANBudget-total)
 	}
 
-	sol, err := prob.Solve()
+	sol, err := solveLP(prob, certify)
 	if err != nil {
+		if certify {
+			return ReducePlacement{}, err
+		}
 		return fallbackReduce(res, req), nil
 	}
 	frac := make([]float64, n)
@@ -486,6 +568,7 @@ func solveReduce(res Resources, req ReduceRequest, includeCompute bool) (ReduceP
 			frac[x] = v
 		}
 	}
+	normalizeReduceFracs(frac)
 	if !includeCompute {
 		// Iridium's shuffle-only variant keeps the raw LP optimum (its
 		// whole point is to ignore the compute dimension).
@@ -644,7 +727,7 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 		sumRow[dv[x]] = 1
 	}
 	prob.AddConstraint(sumRow, lp.EQ, 1)
-	sol, err := prob.Solve()
+	sol, err := solveLP(prob, t.Check)
 	if err != nil {
 		// Degenerate; fall back to forward planning only.
 		mp, e1 := t.PlaceMap(res, mapReq)
@@ -663,7 +746,7 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 	}
 
 	// (iii) map LP with destination-share constraints Σ_x m_{x,y} = d_y.
-	mp, err := placeMapWithDestShares(res, mapReq, desired)
+	mp, err := placeMapWithDestShares(res, mapReq, desired, t.Check)
 	if err != nil {
 		return MapPlacement{}, ReducePlacement{}, err
 	}
@@ -693,11 +776,11 @@ func interFromMap(mp MapPlacement, req MapRequest) []float64 {
 
 // placeMapWithDestShares is the §3.4 step (iii) map LP: standard §3.1
 // constraints plus Σ_x m_{x,y} = share_y.
-func placeMapWithDestShares(res Resources, req MapRequest, share []float64) (MapPlacement, error) {
+func placeMapWithDestShares(res Resources, req MapRequest, share []float64, certify bool) (MapPlacement, error) {
 	n := res.N()
 	total := req.TotalInput()
 	if total <= 0 {
-		return Tetrium{}.PlaceMap(res, req)
+		return Tetrium{Check: certify}.PlaceMap(res, req)
 	}
 	prob := lp.NewProblem()
 	tAggr := prob.AddVar("Taggr", 1)
@@ -736,8 +819,11 @@ func placeMapWithDestShares(res Resources, req MapRequest, share []float64) (Map
 		}
 		prob.AddConstraint(dst, lp.EQ, share[x])
 	}
-	sol, err := prob.Solve()
+	sol, err := solveLP(prob, certify)
 	if err != nil {
+		if certify {
+			return MapPlacement{}, err
+		}
 		return fallbackMap(res, req), nil
 	}
 	m := make([][]float64, n)
@@ -749,6 +835,7 @@ func placeMapWithDestShares(res Resources, req MapRequest, share []float64) (Map
 			}
 		}
 	}
+	normalizeMapFracs(m, req.InputBySite)
 	return finishMap(res, req, m, sol.Value(tAggr), sol.Value(tMap)), nil
 }
 

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"time"
 
+	"tetrium/internal/check"
 	"tetrium/internal/dynamics"
 	"tetrium/internal/netsim"
 	"tetrium/internal/obs"
@@ -151,6 +153,9 @@ func (e *engine) speculate() {
 				}
 				st.copyLaunched[ti] = true
 				e.free[site]--
+				if e.check != nil {
+					e.check.Slots(site, e.capSlots[site]-e.free[site], e.capSlots[site], e.dropped)
+				}
 				e.specCopies++
 				e.recordLaunch(st, ti, site, true)
 				e.launchCopy(st, ti, site)
@@ -286,13 +291,28 @@ func (e *engine) ensureCache(st *stageRun) {
 		}
 		mp, err := e.cfg.Placer.PlaceMap(res, req)
 		if err != nil {
+			if e.check != nil {
+				e.check.Violatef("t=%g job %d stage %d: map placer failed: %v",
+					e.now, st.job.spec.ID, st.idx, err)
+			}
 			mp = diagonalPlacement(res, req)
 		}
+		if e.check != nil {
+			if cerr := check.MapFractions(mp.Frac, input, nPend); cerr != nil {
+				e.check.Violatef("t=%g job %d stage %d: %v", e.now, st.job.spec.ID, st.idx, cerr)
+			}
+		}
 		quota := make([]int, e.n)
+		quotaTotal := 0
 		for x := range mp.Tasks {
 			for y, c := range mp.Tasks[x] {
 				quota[y] += c
+				quotaTotal += c
 			}
+		}
+		if e.check != nil && quotaTotal != nPend {
+			e.check.Violatef("t=%g job %d stage %d: placement apportioned %d tasks for %d pending",
+				e.now, st.job.spec.ID, st.idx, quotaTotal, nPend)
 		}
 		st.cache = &placeCache{
 			est:       mp.EstTime(),
@@ -327,7 +347,24 @@ func (e *engine) ensureCache(st *stageRun) {
 	}
 	rp, err := e.cfg.Placer.PlaceReduce(res, req)
 	if err != nil {
+		if e.check != nil {
+			e.check.Violatef("t=%g job %d stage %d: reduce placer failed: %v",
+				e.now, st.job.spec.ID, st.idx, err)
+		}
 		rp = proportionalReduce(res, req)
+	}
+	if e.check != nil {
+		if cerr := check.ReduceFractions(rp.Frac); cerr != nil {
+			e.check.Violatef("t=%g job %d stage %d: %v", e.now, st.job.spec.ID, st.idx, cerr)
+		}
+		quotaTotal := 0
+		for _, c := range rp.Tasks {
+			quotaTotal += c
+		}
+		if quotaTotal != nPend {
+			e.check.Violatef("t=%g job %d stage %d: placement apportioned %d tasks for %d pending",
+				e.now, st.job.spec.ID, st.idx, quotaTotal, nPend)
+		}
 	}
 	quota := make([]int, e.n)
 	copy(quota, rp.Tasks)
@@ -536,6 +573,9 @@ func (e *engine) launchStage(st *stageRun, budget *int) int {
 				}
 			}
 			e.free[y]--
+			if e.check != nil {
+				e.check.Slots(y, e.capSlots[y]-e.free[y], e.capSlots[y], e.dropped)
+			}
 			*budget--
 			launched++
 			e.recordLaunch(st, ti, y, false)
@@ -763,11 +803,23 @@ func (e *engine) chooseTasks(st *stageRun, y, n int) []int {
 	return ordered
 }
 
+// ceilFrac returns ⌈f·n⌉, robust to floating-point error in the
+// product: values within 1e-9 below an integer count as having reached
+// it. (The previous int(f·n + 0.999) idiom silently rounded *down*
+// whenever the product's fractional part fell in (0, 0.001) — e.g. a
+// reserve share of 0.401 over 5 slots wants ⌈2.005⌉ = 3, not 2.)
+func ceilFrac(f float64, n int) int {
+	if f <= 0 || n <= 0 {
+		return 0
+	}
+	return int(math.Ceil(f*float64(n) - 1e-9))
+}
+
 // reserveLocal rearranges an ordered launch list so that at least
 // ⌈reserve·n⌉ of the first n tasks are local to site y when enough local
 // tasks exist.
 func reserveLocal(st *stageRun, ordered []int, y, n int, reserve float64) []int {
-	want := int(reserve*float64(n) + 0.999)
+	want := ceilFrac(reserve, n)
 	if want <= 0 || len(ordered) <= n {
 		return ordered
 	}

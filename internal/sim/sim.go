@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tetrium/internal/check"
 	"tetrium/internal/cluster"
 	"tetrium/internal/netsim"
 	"tetrium/internal/obs"
@@ -94,6 +95,16 @@ type Config struct {
 	// the `sched.wall_ns` histogram from its metrics registry. The
 	// field keeps working for existing callers.
 	TrackSchedTime bool
+
+	// Check enables the internal/check verification layer for this run:
+	// every LP-backed placement is validated against the paper's Eq. 5 /
+	// Eq. 10 conservation laws, WAN flows are byte-conservation audited,
+	// per-site slot occupancy is bounds-checked, and event time must be
+	// monotone. Violations accumulate and surface as an error from Run
+	// after the simulation completes (so one bad run reports everything
+	// it broke). Debug/CI use; the checks are skipped entirely when
+	// false.
+	Check bool
 
 	// Observer, when non-nil, receives the run's structured event
 	// trace (scheduling instances, placement decisions, task
@@ -386,6 +397,11 @@ type engine struct {
 	instSolves    int  // LP solves since the last SchedInstance event
 	instCacheHits int  // placement-cache reuses since the last event
 	restamping    bool // current solve is a forced post-drop re-place
+
+	// Invariant checker (internal/check). Nil unless Config.Check; every
+	// check site is guarded the same way the observer is, so disabled
+	// runs pay one nil comparison.
+	check *check.SimInvariants
 }
 
 func newEngine(cfg Config) *engine {
@@ -403,6 +419,9 @@ func newEngine(cfg Config) *engine {
 		flowOwner:  make(map[netsim.FlowID]*fetchGroup),
 		openEvents: make(map[timelineKey]int),
 		obs:        cfg.Observer,
+	}
+	if cfg.Check {
+		e.check = check.NewSimInvariants()
 	}
 	for _, j := range cfg.Jobs {
 		jr := &jobRun{spec: j, completedAt: -1}
@@ -466,7 +485,13 @@ func (e *engine) run() error {
 		}
 		e.net.Advance(t)
 		e.now = t
+		if e.check != nil {
+			e.check.EventTime(t)
+		}
 		for _, f := range e.net.PopCompleted() {
+			if e.check != nil {
+				e.check.FlowDone(f.Bytes, f.Remaining)
+			}
 			if e.obs != nil {
 				dur := e.now - f.Started
 				rate := 0.0
@@ -501,6 +526,10 @@ func (e *engine) run() error {
 		if !j.done() {
 			return fmt.Errorf("sim: job %d incomplete at end of simulation", j.spec.ID)
 		}
+	}
+	if e.check != nil {
+		e.check.EndOfRun()
+		return e.check.Err()
 	}
 	return nil
 }
@@ -563,6 +592,9 @@ func (e *engine) onArrival(j *jobRun) {
 
 func (e *engine) onComputeDone(st *stageRun, task, site int, isCopy bool) {
 	e.free[site]++
+	if e.check != nil {
+		e.check.Slots(site, e.capSlots[site]-e.free[site], e.capSlots[site], e.dropped)
+	}
 	e.needDispatch = true
 	e.recordFinish(st, task, site, isCopy)
 	if st.doneTask[task] {
@@ -665,6 +697,9 @@ func (e *engine) addFlow(j *jobRun, src, dst int, bytes float64) netsim.FlowID {
 	fid := e.net.AddFlow(src, dst, bytes)
 	e.wanBytes += bytes
 	j.wanBytes += bytes
+	if e.check != nil {
+		e.check.FlowStarted(bytes)
+	}
 	if e.obs != nil {
 		e.obs.Emit(obs.FlowStart{T: e.now, Flow: int64(fid), Src: src, Dst: dst, Bytes: bytes})
 	}

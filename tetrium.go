@@ -269,6 +269,17 @@ type Options struct {
 	// NewRecorder() for the standard implementation. Nil costs
 	// nothing on the simulator's hot paths.
 	Observer Observer
+
+	// Check runs the simulation under the internal verification layer:
+	// every LP solve behind a Tetrium/Iridium placement is certified
+	// (primal feasibility, non-negativity, an optimality bound), every
+	// placement is validated against the paper's Eq. 5 / Eq. 10
+	// conservation laws, and the simulator audits WAN byte
+	// conservation, per-site slot occupancy, and event-time
+	// monotonicity throughout the run. Violations surface as an error
+	// from Simulate after the run completes. Intended for debugging and
+	// CI; the checks cost nothing when false.
+	Check bool
 }
 
 // Simulate runs the jobs on the cluster under the chosen scheduler and
@@ -318,13 +329,14 @@ func buildConfig(o Options) (sim.Config, error) {
 		SpecThreshold:  o.SpecThreshold,
 		RecordTimeline: o.RecordTimeline,
 		Observer:       o.Observer,
+		Check:          o.Check,
 	}
 	switch o.Scheduler {
 	case SchedulerTetrium:
-		cfg.Placer = tetriumPlacer(o.Cluster.N())
+		cfg.Placer = tetriumPlacer(o.Cluster.N(), o.Check)
 		cfg.Policy = sched.SRPT
 	case SchedulerIridium:
-		cfg.Placer = place.Iridium{}
+		cfg.Placer = place.Iridium{Check: o.Check}
 		cfg.Policy = sched.Fair
 	case SchedulerInPlace:
 		cfg.Placer = place.InPlace{}
@@ -343,11 +355,11 @@ func buildConfig(o Options) (sim.Config, error) {
 
 // tetriumPlacer restricts the map LP's candidate destinations at large
 // site counts (see place.Tetrium.MaxDest).
-func tetriumPlacer(n int) place.Placer {
+func tetriumPlacer(n int, check bool) place.Placer {
 	if n > 16 {
-		return place.Tetrium{MaxDest: 10}
+		return place.Tetrium{MaxDest: 10, Check: check}
 	}
-	return place.Tetrium{}
+	return place.Tetrium{Check: check}
 }
 
 // PlaceJob computes Tetrium's placement for the first map stage of a job
@@ -363,7 +375,7 @@ func PlaceJob(c *Cluster, job *Job) (estSeconds float64, tasksBySite []int, err 
 		return 0, nil, fmt.Errorf("tetrium: job's first stage is not a map stage")
 	}
 	res := place.Resources{Slots: c.Slots(), UpBW: c.UpBW(), DownBW: c.DownBW()}
-	mp, err := tetriumPlacer(c.N()).PlaceMap(res, place.MapRequest{
+	mp, err := tetriumPlacer(c.N(), false).PlaceMap(res, place.MapRequest{
 		InputBySite: st.InputBySite(c.N()),
 		NumTasks:    st.NumTasks(),
 		TaskCompute: st.EstCompute,

@@ -176,3 +176,30 @@ func TestAddReplicasPublic(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateChecked runs every scheduler over a seeded workload with
+// Options.Check enabled: each LP solve is certified (primal residuals,
+// non-negativity, optimality) and the engine's conservation invariants
+// are verified at every event. A violation fails the Simulate call.
+// Results must be bit-identical to an unchecked run.
+func TestSimulateChecked(t *testing.T) {
+	c := smallCluster()
+	jobs := GenerateTrace(TraceTPCDS, c, 6, 7)
+	for _, s := range []Scheduler{
+		SchedulerTetrium, SchedulerIridium, SchedulerInPlace,
+		SchedulerCentralized, SchedulerTetris,
+	} {
+		checked, err := Simulate(Options{Cluster: c, Jobs: jobs, Scheduler: s, Check: true})
+		if err != nil {
+			t.Fatalf("%v: checked run: %v", s, err)
+		}
+		plain, err := Simulate(Options{Cluster: c, Jobs: jobs, Scheduler: s})
+		if err != nil {
+			t.Fatalf("%v: unchecked run: %v", s, err)
+		}
+		if checked.Makespan != plain.Makespan || checked.WANBytes != plain.WANBytes {
+			t.Fatalf("%v: Check changed results: makespan %g vs %g, WAN %g vs %g",
+				s, checked.Makespan, plain.Makespan, checked.WANBytes, plain.WANBytes)
+		}
+	}
+}

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench fmt fuzz-smoke
+.PHONY: ci build vet test race bench-guard bench fmt fuzz-smoke serve-smoke
 
-ci: vet build race bench-guard fuzz-smoke
+ci: vet build race bench-guard fuzz-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/check -fuzz=FuzzSolve -fuzztime=10s
 	$(GO) test ./internal/place -fuzz=FuzzPlaceMap -fuzztime=10s
+
+# End-to-end check of the serving path: tetrium-serve starts its HTTP
+# server on an ephemeral port, submits 5 jobs over the wire, fires a
+# §4.2 cluster update, polls everything to completion, scrapes /metrics
+# and /debug/events, drains, and exits non-zero on any deviation.
+# (`make race` covers the engine's concurrency tests: go test -race ./...
+# includes ./internal/engine/...)
+serve-smoke:
+	$(GO) run ./cmd/tetrium-serve -smoke -cluster paper -time-scale 0.002
 
 fmt:
 	gofmt -l -w .

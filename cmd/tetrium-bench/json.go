@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tetrium"
+	"tetrium/internal/cluster"
+	"tetrium/internal/metrics"
+)
+
+// SchedulerResult is one scheduler's row in the -json output — the
+// machine-readable perf trajectory (BENCH_*.json) record.
+type SchedulerResult struct {
+	Scheduler   string  `json:"scheduler"`
+	Jobs        int     `json:"jobs"`
+	MeanJCTSec  float64 `json:"mean_jct_s"`
+	MedianJCTs  float64 `json:"median_jct_s"`
+	P95JCTSec   float64 `json:"p95_jct_s"`
+	WANGB       float64 `json:"wan_gb"`
+	MakespanSec float64 `json:"makespan_s"`
+	WallMillis  int64   `json:"wall_ms"`
+}
+
+// JSONReport is the -json file layout.
+type JSONReport struct {
+	Cluster    string            `json:"cluster"`
+	Trace      string            `json:"trace"`
+	NumJobs    int               `json:"num_jobs"`
+	Seed       int64             `json:"seed"`
+	Quick      bool              `json:"quick"`
+	Schedulers []SchedulerResult `json:"schedulers"`
+}
+
+// runJSONBench runs the per-scheduler comparison on a fixed
+// configuration and writes machine-readable results to path.
+func runJSONBench(path string, quick bool, seed int64, schedNames string) error {
+	cl := cluster.EC2EightRegions()
+	numJobs := 50
+	if quick {
+		numJobs = 12
+	}
+	jobs := tetrium.GenerateTrace(tetrium.TraceTPCDS, cl, numJobs, seed)
+
+	var scheds []tetrium.Scheduler
+	if schedNames == "" {
+		scheds = tetrium.Schedulers()
+	} else {
+		for _, n := range strings.Split(schedNames, ",") {
+			s, err := tetrium.ParseScheduler(strings.TrimSpace(n))
+			if err != nil {
+				return err
+			}
+			scheds = append(scheds, s)
+		}
+	}
+
+	report := JSONReport{
+		Cluster: "ec2-8",
+		Trace:   "tpcds",
+		NumJobs: numJobs,
+		Seed:    seed,
+		Quick:   quick,
+	}
+	for _, s := range scheds {
+		start := time.Now()
+		res, err := tetrium.Simulate(tetrium.Options{
+			Cluster:   cl,
+			Jobs:      jobs,
+			Scheduler: s,
+			Seed:      seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+		resp := res.Responses()
+		report.Schedulers = append(report.Schedulers, SchedulerResult{
+			Scheduler:   s.String(),
+			Jobs:        len(res.Jobs),
+			MeanJCTSec:  res.MeanResponse(),
+			MedianJCTs:  metrics.Median(resp),
+			P95JCTSec:   metrics.Percentile(resp, 95),
+			WANGB:       res.WANBytes / tetrium.GB,
+			MakespanSec: res.Makespan,
+			WallMillis:  time.Since(start).Milliseconds(),
+		})
+		fmt.Printf("  [json %-11s mean=%.1fs p95=%.1fs wan=%.2fGB in %v]\n",
+			s, res.MeanResponse(), metrics.Percentile(resp, 95),
+			res.WANBytes/tetrium.GB, time.Since(start).Round(time.Millisecond))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

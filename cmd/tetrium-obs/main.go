@@ -157,18 +157,9 @@ func fatal(err error) {
 }
 
 func loadWorkload(clusterName, traceName, traceFile string, jobs int, seed int64) (*tetrium.Cluster, []*tetrium.Job, error) {
-	var cl *tetrium.Cluster
-	switch clusterName {
-	case "ec2-8":
-		cl = cluster.EC2EightRegions()
-	case "ec2-30":
-		cl = cluster.EC2ThirtySites(seed)
-	case "sim-50":
-		cl = cluster.Sim50(seed)
-	case "paper":
-		cl = cluster.PaperExample()
-	default:
-		return nil, nil, fmt.Errorf("unknown cluster %q", clusterName)
+	cl, err := cluster.Preset(clusterName, seed)
+	if err != nil {
+		return nil, nil, err
 	}
 	if traceFile != "" {
 		fileCl, jobList, err := trace.ReadFile(traceFile)

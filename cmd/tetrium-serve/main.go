@@ -1,0 +1,153 @@
+// Command tetrium-serve runs the online scheduling service: a daemon
+// that accepts analytics jobs over HTTP/JSON and schedules them with the
+// paper's pipeline (LP placement §3, SRPT ordering §4.1, WAN budget
+// §4.3, ε-fairness §4.4, k-site-limited re-placement on cluster updates
+// §4.2).
+//
+// Server mode (default):
+//
+//	tetrium-serve -addr :8080 -cluster ec2-8 -scheduler tetrium
+//
+//	POST /v1/jobs            submit a job (trace-file stage schema)
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       job detail
+//	GET  /v1/cluster         live capacity view
+//	POST /v1/cluster/update  §4.2 dynamics: {"sites":[{"site":0,"frac":0.4}]}
+//	GET  /metrics            Prometheus text format
+//	GET  /metrics.txt        native registry dump
+//	GET  /debug/events       JSONL event stream
+//	GET  /healthz            liveness
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, in-flight jobs
+// finish (up to -drain-timeout), then the server exits.
+//
+// Load-generator mode replays a synthetic trace against a running
+// server and reports submit-to-placement latency and throughput:
+//
+//	tetrium-serve -loadgen -target http://127.0.0.1:8080 -jobs 100 -rate 600
+//
+// Smoke mode starts an in-process server on an ephemeral port, runs a
+// five-job end-to-end check (submit → poll → update → metrics → drain),
+// and exits non-zero on any failure:
+//
+//	tetrium-serve -smoke
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tetrium"
+	"tetrium/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		clusterName = flag.String("cluster", "ec2-8", "cluster preset: ec2-8|ec2-30|sim-50|paper|osp")
+		seed        = flag.Int64("seed", 1, "preset/trace seed")
+		schedName   = flag.String("scheduler", "tetrium", "tetrium|iridium|in-place|centralized|tetris")
+		rho         = flag.Float64("rho", 1, "WAN budget knob (0..1)")
+		eps         = flag.Float64("eps", 1, "fairness knob (0..1)")
+		updateK     = flag.Int("update-k", 0, "sites updatable per placement on a cluster change (0 = all)")
+		maxPending  = flag.Int("max-pending", 1024, "admission bound; beyond it submissions get 429")
+		timeScale   = flag.Float64("time-scale", 1e-3, "estimated stage seconds → wall seconds (<= 0: instant)")
+		eventsCap   = flag.Int("events-cap", 65536, "retained /debug/events entries")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+		checkRun    = flag.Bool("check", false, "certify every LP solve")
+
+		loadgen = flag.Bool("loadgen", false, "run as load generator against -target")
+		smoke   = flag.Bool("smoke", false, "run the in-process smoke check and exit")
+	)
+	addLoadgenFlags()
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tetrium-serve: loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sched, err := tetrium.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(2)
+	}
+	cl, err := cluster.Preset(*clusterName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(2)
+	}
+	scale := *timeScale
+	if scale <= 0 {
+		scale = -1 // NewEngine: negative → instant completion
+	}
+	eng, err := tetrium.NewEngine(tetrium.EngineOptions{
+		Cluster:   cl,
+		Scheduler: sched,
+		Rho:       *rho, RhoSet: true,
+		Eps: *eps, EpsSet: true,
+		UpdateK:    *updateK,
+		MaxPending: *maxPending,
+		TimeScale:  scale,
+		EventCap:   *eventsCap,
+		Check:      *checkRun,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+
+	if *smoke {
+		err := runSmoke(eng)
+		eng.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrium-serve: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: tetrium.EngineHandler(eng)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("tetrium-serve: listening on %s (cluster %s, %d sites, scheduler %s)\n",
+		*addr, *clusterName, cl.N(), sched)
+
+	select {
+	case err := <-errc:
+		eng.Close()
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("tetrium-serve: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := eng.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve: drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve: shutdown:", err)
+	}
+	eng.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tetrium-serve: stopped")
+}

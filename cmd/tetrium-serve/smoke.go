@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"tetrium"
+	"tetrium/internal/engine/api"
+	"tetrium/internal/workload"
+)
+
+// runSmoke is the CI end-to-end check: start the HTTP server on an
+// ephemeral port, submit five jobs over the wire, poll them to
+// completion, fire a §4.2 cluster update, scrape /metrics and
+// /debug/events, then drain and shut down cleanly. Any deviation is an
+// error (non-zero exit).
+func runSmoke(eng *tetrium.Engine) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: tetrium.EngineHandler(eng)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	fmt.Printf("smoke: serving on %s\n", base)
+
+	if err := smokeSteps(client, base, eng); err != nil {
+		srv.Close()
+		<-done
+		return err
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func smokeSteps(client *http.Client, base string, eng *tetrium.Engine) error {
+	// Liveness.
+	if body, err := smokeGet(client, base+"/healthz"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	} else if !strings.Contains(body, "ok") {
+		return fmt.Errorf("healthz replied %q", body)
+	}
+
+	// Cluster shape drives the generated jobs.
+	cl, err := fetchCluster(client, base)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+
+	// Submit 5 jobs over the wire.
+	jobs := workload.Generate(workload.BigData(cl.N(), 5, 42))
+	var ids []int
+	for _, j := range jobs {
+		id, err := submitJob(client, base, j)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("smoke: submitted %d jobs\n", len(ids))
+
+	// Mid-run §4.2 update while jobs are (possibly) still running.
+	if err := postDrop(client, base, "0:0.3"); err != nil {
+		return fmt.Errorf("cluster update: %w", err)
+	}
+
+	// Poll every job to a terminal state.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			body, err := smokeGet(client, fmt.Sprintf("%s/v1/jobs/%d", base, id))
+			if err != nil {
+				return fmt.Errorf("poll job %d: %w", id, err)
+			}
+			var st api.JobStatus
+			if err := json.Unmarshal([]byte(body), &st); err != nil {
+				return fmt.Errorf("poll job %d: %w", id, err)
+			}
+			if st.State == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %d stuck in state %q", id, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Println("smoke: all jobs completed")
+
+	// Metrics must reflect the completed work in both formats.
+	prom, err := smokeGet(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !strings.Contains(prom, "tetrium_jobs_done 5") {
+		return fmt.Errorf("/metrics missing tetrium_jobs_done 5:\n%s", prom)
+	}
+	txt, err := smokeGet(client, base+"/metrics.txt")
+	if err != nil {
+		return fmt.Errorf("metrics.txt: %w", err)
+	}
+	if !strings.Contains(txt, "jobs.done 5") {
+		return fmt.Errorf("/metrics.txt missing jobs.done 5:\n%s", txt)
+	}
+
+	// The event stream must show the drop and its re-placements.
+	restamps, drops, err := countReplacements(client, base)
+	if err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	if drops != 1 {
+		return fmt.Errorf("events recorded %d drops, want 1", drops)
+	}
+	fmt.Printf("smoke: events show %d drop, %d re-placements\n", drops, restamps)
+
+	// Graceful drain: no further admissions, queue empties.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if _, err := submitJob(client, base, jobs[0]); err == nil {
+		return fmt.Errorf("submission accepted while draining")
+	}
+	return nil
+}
+
+func smokeGet(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return string(body), fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}

@@ -83,7 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tetrium-sim:", err)
 		os.Exit(1)
 	}
-	sched, err := parseScheduler(*schedName)
+	sched, err := tetrium.ParseScheduler(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-sim:", err)
 		os.Exit(1)
@@ -146,20 +146,9 @@ func main() {
 }
 
 func loadWorkload(clusterName, traceName, traceFile string, jobs int, seed int64) (*tetrium.Cluster, []*tetrium.Job, error) {
-	var cl *tetrium.Cluster
-	switch clusterName {
-	case "ec2-8":
-		cl = cluster.EC2EightRegions()
-	case "ec2-30":
-		cl = cluster.EC2ThirtySites(seed)
-	case "sim-50":
-		cl = cluster.Sim50(seed)
-	case "paper":
-		cl = cluster.PaperExample()
-	case "osp":
-		cl = cluster.OSPLike(100, seed)
-	default:
-		return nil, nil, fmt.Errorf("unknown cluster %q", clusterName)
+	cl, err := cluster.Preset(clusterName, seed)
+	if err != nil {
+		return nil, nil, err
 	}
 	if traceFile != "" {
 		fileCl, jobList, err := trace.ReadFile(traceFile)
@@ -183,21 +172,4 @@ func loadWorkload(clusterName, traceName, traceFile string, jobs int, seed int64
 		return nil, nil, fmt.Errorf("unknown trace %q", traceName)
 	}
 	return cl, tetrium.GenerateTrace(kind, cl, jobs, seed), nil
-}
-
-func parseScheduler(name string) (tetrium.Scheduler, error) {
-	switch name {
-	case "tetrium":
-		return tetrium.SchedulerTetrium, nil
-	case "iridium":
-		return tetrium.SchedulerIridium, nil
-	case "in-place":
-		return tetrium.SchedulerInPlace, nil
-	case "centralized":
-		return tetrium.SchedulerCentralized, nil
-	case "tetris":
-		return tetrium.SchedulerTetris, nil
-	default:
-		return 0, fmt.Errorf("unknown scheduler %q", name)
-	}
 }

@@ -10,6 +10,7 @@ import (
 )
 
 func TestParseScheduler(t *testing.T) {
+	// The CLI delegates to the facade's shared parser.
 	cases := map[string]tetrium.Scheduler{
 		"tetrium":     tetrium.SchedulerTetrium,
 		"iridium":     tetrium.SchedulerIridium,
@@ -18,12 +19,12 @@ func TestParseScheduler(t *testing.T) {
 		"tetris":      tetrium.SchedulerTetris,
 	}
 	for name, want := range cases {
-		got, err := parseScheduler(name)
+		got, err := tetrium.ParseScheduler(name)
 		if err != nil || got != want {
-			t.Errorf("parseScheduler(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseScheduler(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := parseScheduler("nope"); err == nil {
+	if _, err := tetrium.ParseScheduler("nope"); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }

@@ -53,18 +53,9 @@ func gen(args []string) {
 		os.Exit(2)
 	}
 
-	var cl *cluster.Cluster
-	switch *clusterName {
-	case "ec2-8":
-		cl = cluster.EC2EightRegions()
-	case "ec2-30":
-		cl = cluster.EC2ThirtySites(*seed)
-	case "sim-50":
-		cl = cluster.Sim50(*seed)
-	case "paper":
-		cl = cluster.PaperExample()
-	default:
-		fmt.Fprintf(os.Stderr, "tetrium-trace: unknown cluster %q\n", *clusterName)
+	cl, err := cluster.Preset(*clusterName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-trace:", err)
 		os.Exit(2)
 	}
 

@@ -303,3 +303,29 @@ func sortFloats(v []float64) {
 		}
 	}
 }
+
+// PresetNames lists the cluster presets accepted by Preset, in the order
+// CLIs document them.
+func PresetNames() []string {
+	return []string{"ec2-8", "ec2-30", "sim-50", "paper", "osp"}
+}
+
+// Preset builds a deployment preset by CLI name — the single parser
+// shared by tetrium-sim, tetrium-obs, and tetrium-serve. The seed only
+// affects the randomized presets (ec2-30, sim-50, osp).
+func Preset(name string, seed int64) (*Cluster, error) {
+	switch name {
+	case "ec2-8":
+		return EC2EightRegions(), nil
+	case "ec2-30":
+		return EC2ThirtySites(seed), nil
+	case "sim-50":
+		return Sim50(seed), nil
+	case "paper":
+		return PaperExample(), nil
+	case "osp":
+		return OSPLike(100, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown cluster %q (want one of %v)", name, PresetNames())
+	}
+}

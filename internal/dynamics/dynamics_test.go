@@ -135,3 +135,34 @@ func randomAssign(rng *rand.Rand, n, total int) []int {
 	}
 	return out
 }
+
+// TestReassignAlreadyIdeal: when the old assignment is already the
+// ideal, Reassign must be a no-op at every k (including the k <= 0
+// full-update path and k >= len(sites)) and Q must be exactly 0.
+func TestReassignAlreadyIdeal(t *testing.T) {
+	old := []int{7, 0, 12, 5}
+	for _, k := range []int{0, 1, 2, len(old), len(old) + 10} {
+		got := Reassign(old, old, k)
+		for i := range old {
+			if got[i] != old[i] {
+				t.Fatalf("k=%d: Reassign moved tasks on an ideal assignment: %v", k, got)
+			}
+		}
+		if q := Q(got, old); q != 0 {
+			t.Errorf("k=%d: Q = %v, want 0", k, q)
+		}
+	}
+}
+
+// TestReassignKZeroMeansFull pins the documented k<=0 convention: zero
+// does not mean "freeze every site" but "no limit" — the full update
+// used when the operator does not bound §4.2 churn (matching
+// Options.UpdateK and engine.Config.UpdateK).
+func TestReassignKZeroMeansFull(t *testing.T) {
+	old := []int{9, 1, 2}
+	ideal := []int{2, 6, 4}
+	got := Reassign(old, ideal, 0)
+	if Q(got, ideal) != 0 {
+		t.Fatalf("k=0: Reassign = %v, want full update to %v", got, ideal)
+	}
+}

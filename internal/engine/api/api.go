@@ -1,0 +1,153 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"tetrium/internal/engine"
+	"tetrium/internal/obs"
+)
+
+// Handler serves an Engine over HTTP. The handler is stateless: all
+// synchronization lives behind the engine's event loop, so it is safe
+// under any number of concurrent requests.
+func Handler(e *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := spec.ToWorkload()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := e.Submit(job)
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobStatus(st))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sts, err := e.Jobs()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		out := make([]JobStatus, 0, len(sts))
+		for _, st := range sts {
+			out = append(out, jobStatus(st))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := e.Job(id)
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobStatus(st))
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		cs, err := e.Cluster()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, clusterStatus(cs))
+	})
+	mux.HandleFunc("POST /v1/cluster/update", func(w http.ResponseWriter, r *http.Request) {
+		var req UpdateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ups := make([]engine.SiteUpdate, 0, len(req.Sites))
+		for _, u := range req.Sites {
+			ups = append(ups, u.toEngine())
+		}
+		replaced, err := e.UpdateCluster(ups)
+		if err != nil {
+			if errors.Is(err, engine.ErrStopped) {
+				writeEngineErr(w, err)
+			} else {
+				writeErr(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, UpdateResponse{StagesReplaced: replaced})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		body, err := e.MetricsPrometheus()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /metrics.txt", func(w http.ResponseWriter, r *http.Request) {
+		body, err := e.MetricsText()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		evs, dropped, err := e.Events()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		w.Header().Set("Tetrium-Events-Dropped", strconv.FormatInt(dropped, 10))
+		obs.WriteJSONL(w, evs)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := e.Cluster(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeEngineErr maps engine sentinels to HTTP semantics: backpressure
+// is 429 with a Retry-After hint, drain/stop is 503, unknown IDs 404,
+// anything else a submission-validation 400.
+func writeEngineErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, engine.ErrDraining), errors.Is(err, engine.ErrStopped):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, engine.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}

@@ -1,0 +1,311 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/engine"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/workload"
+)
+
+func testServer(t *testing.T, mut func(*engine.Config)) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	cfg := engine.Config{
+		Cluster: cluster.PaperExample(),
+		Placer:  place.Tetrium{},
+		Policy:  sched.SRPT,
+		Rho:     1, Eps: 1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	srv := httptest.NewServer(Handler(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return srv, e
+}
+
+func submitBody(t *testing.T) []byte {
+	t.Helper()
+	jobs := workload.Generate(workload.BigData(3, 1, 5))
+	body, err := json.Marshal(FromWorkload(jobs[0]))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return body
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body []byte) (*http.Response, JobStatus) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	resp.Body.Close()
+	return resp, st
+}
+
+func TestSubmitAndGet(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	resp, st := postJob(t, srv, submitBody(t))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+
+	get, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, st.ID))
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer get.Body.Close()
+	var detail JobStatus
+	if err := json.NewDecoder(get.Body).Decode(&detail); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if detail.State != "done" { // TimeScale 0: synchronous completion
+		t.Errorf("state %q, want done", detail.State)
+	}
+	if len(detail.Stages) == 0 {
+		t.Errorf("detail response missing stages")
+	}
+	if detail.SubmitToPlaceMs <= 0 {
+		t.Errorf("submit_to_place_ms = %v, want > 0", detail.SubmitToPlaceMs)
+	}
+
+	list, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET jobs: %v", err)
+	}
+	defer list.Body.Close()
+	var all []JobStatus
+	if err := json.NewDecoder(list.Body).Decode(&all); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(all) != 1 || all[0].ID != st.ID {
+		t.Errorf("list = %+v, want the one submitted job", all)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	for name, body := range map[string]string{
+		"bad json":   "{not json",
+		"no stages":  `{"name":"x","stages":[]}`,
+		"bad kind":   `{"name":"x","stages":[{"kind":"mystery","tasks":[{"src":0,"input":1,"compute":1}]}]}`,
+		"bad source": `{"name":"x","stages":[{"kind":"map","tasks":[{"src":77,"input":1,"compute":1}]}]}`,
+	} {
+		resp, _ := postJob(t, srv, []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/999")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	srv, _ := testServer(t, func(cfg *engine.Config) {
+		cfg.MaxPending = 1
+		cfg.TimeScale = 0.05 // keep the first job running
+	})
+	body := submitBody(t)
+	if resp, _ := postJob(t, srv, body); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp, _ := postJob(t, srv, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 missing Retry-After header")
+	}
+}
+
+func TestClusterViewAndUpdate(t *testing.T) {
+	srv, _ := testServer(t, nil)
+
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("GET cluster: %v", err)
+	}
+	var cs ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(cs.Sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(cs.Sites))
+	}
+
+	up, err := http.Post(srv.URL+"/v1/cluster/update", "application/json",
+		strings.NewReader(`{"sites":[{"site":0,"frac":0.5}]}`))
+	if err != nil {
+		t.Fatalf("POST update: %v", err)
+	}
+	up.Body.Close()
+	if up.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d, want 200", up.StatusCode)
+	}
+
+	resp2, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("GET cluster: %v", err)
+	}
+	var cs2 ClusterStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&cs2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp2.Body.Close()
+	if cs2.Sites[0].Slots >= cs.Sites[0].Slots {
+		t.Errorf("site 0 slots %d not reduced from %d", cs2.Sites[0].Slots, cs.Sites[0].Slots)
+	}
+
+	bad, err := http.Post(srv.URL+"/v1/cluster/update", "application/json",
+		strings.NewReader(`{"sites":[{"site":42,"frac":0.5}]}`))
+	if err != nil {
+		t.Fatalf("POST bad update: %v", err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad update status %d, want 400", bad.StatusCode)
+	}
+}
+
+func TestMetricsAndEvents(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	postJob(t, srv, submitBody(t))
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "tetrium_jobs_done 1") {
+		t.Errorf("/metrics missing tetrium_jobs_done 1:\n%s", buf.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type %q", ct)
+	}
+
+	txt, err := http.Get(srv.URL + "/metrics.txt")
+	if err != nil {
+		t.Fatalf("GET metrics.txt: %v", err)
+	}
+	buf.Reset()
+	buf.ReadFrom(txt.Body)
+	txt.Body.Close()
+	if !strings.Contains(buf.String(), "jobs.done") {
+		t.Errorf("/metrics.txt missing jobs.done:\n%s", buf.String())
+	}
+
+	ev, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	buf.Reset()
+	buf.ReadFrom(ev.Body)
+	ev.Body.Close()
+	if ev.Header.Get("Tetrium-Events-Dropped") != "0" {
+		t.Errorf("dropped header = %q, want 0", ev.Header.Get("Tetrium-Events-Dropped"))
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("events: %d lines, want several", len(lines))
+	}
+	for _, ln := range lines {
+		var rec struct {
+			K string          `json:"k"`
+			E json.RawMessage `json:"e"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if rec.K == "" {
+			t.Errorf("event line missing kind: %q", ln)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, e := testServer(t, nil)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d, want 200", resp.StatusCode)
+	}
+	e.Close()
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz after close: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after close %d, want 503", resp2.StatusCode)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	jobs := workload.Generate(workload.TPCDS(3, 2, 9))
+	for _, j := range jobs {
+		spec := FromWorkload(j)
+		back, err := spec.ToWorkload()
+		if err != nil {
+			t.Fatalf("ToWorkload: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped job invalid: %v", err)
+		}
+		if back.NumStages() != j.NumStages() || back.TotalTasks() != j.TotalTasks() {
+			t.Errorf("round trip changed shape: %d/%d stages, %d/%d tasks",
+				back.NumStages(), j.NumStages(), back.TotalTasks(), j.TotalTasks())
+		}
+	}
+}
+
+func TestWireEstComputeDefault(t *testing.T) {
+	spec := &JobSpec{Name: "hand-written", Stages: []StageSpec{
+		{Kind: "map", Tasks: []TaskSpec{
+			{Src: 0, Input: 1e9, Compute: 4},
+			{Src: 1, Input: 1e9, Compute: 8},
+		}},
+		{Kind: "reduce", Deps: []int{0}, EstCompute: 2, Tasks: []TaskSpec{{Compute: 6}}},
+	}}
+	job, err := spec.ToWorkload()
+	if err != nil {
+		t.Fatalf("ToWorkload: %v", err)
+	}
+	if got := job.Stages[0].EstCompute; got != 6 {
+		t.Errorf("omitted est_compute = %v, want mean task compute 6", got)
+	}
+	if got := job.Stages[1].EstCompute; got != 2 {
+		t.Errorf("explicit est_compute overridden: got %v, want 2", got)
+	}
+}

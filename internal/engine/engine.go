@@ -1,0 +1,352 @@
+// Package engine is the online counterpart of internal/sim: a
+// long-running scheduling service that accepts job submissions while
+// they arrive, maintains live cluster state, and continuously runs the
+// paper's pipeline — LP placement (internal/place, §3), SRPT ordering
+// on G_j/T_j with ε-fairness slot capping (internal/sched, §4.1/§4.4),
+// the WAN-budget knob ρ (§4.3), and k-site-limited re-placement when
+// cluster resources change at runtime (internal/dynamics, §4.2).
+//
+// Concurrency model: all mutable state is owned by a single event-loop
+// goroutine. Public methods never touch state directly; they enqueue a
+// closure on the loop's request channel and wait for it to run
+// (request/reply), so arbitrary numbers of concurrent submitters,
+// status readers, and dynamics updaters are safe without any locks on
+// the scheduling path. Stage-completion timers re-enter the loop the
+// same way. This mirrors the paper's global manager: one decision
+// maker observing arrivals and resource reports (§5).
+//
+// Execution model: the engine is a scheduler, not an executor. When a
+// stage is dispatched it holds the slots its placement demands and
+// "runs" for its LP-estimated duration scaled by Config.TimeScale
+// (estimated seconds → wall seconds), releasing the slots on
+// completion. TimeScale ≤ 0 completes stages immediately — useful for
+// tests and for measuring the pure scheduling path. Every admitted job
+// reaches a terminal state: slots are only held by running stages,
+// running stages always complete, and completions re-trigger
+// scheduling.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/obs"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/workload"
+)
+
+// Sentinel errors surfaced to API callers.
+var (
+	// ErrStopped is returned after Close.
+	ErrStopped = errors.New("engine: stopped")
+	// ErrDraining is returned for submissions after Drain began.
+	ErrDraining = errors.New("engine: draining, not accepting jobs")
+	// ErrQueueFull is returned when admission would exceed
+	// Config.MaxPending; callers should back off and retry.
+	ErrQueueFull = errors.New("engine: pending queue full")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("engine: no such job")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Cluster supplies the initial site capacities. Required.
+	Cluster *cluster.Cluster
+	// Placer decides per-stage task placement. Required.
+	Placer place.Placer
+	// Policy orders jobs at each scheduling instance.
+	Policy sched.Policy
+
+	// Rho is the WAN-budget knob ρ of §4.3, clamped to [0,1].
+	Rho float64
+	// Eps is the fairness knob ε of §4.4, clamped to [0,1]; forced to 0
+	// when Policy is Fair (matching internal/sim).
+	Eps float64
+	// UpdateK bounds how many sites a placement may change when cluster
+	// resources change (§4.2); 0 allows a full update.
+	UpdateK int
+
+	// MaxPending bounds admitted-but-unfinished jobs; submissions beyond
+	// it fail with ErrQueueFull (backpressure). Default 1024.
+	MaxPending int
+	// TimeScale converts a stage's LP-estimated seconds into wall-clock
+	// run time. ≤ 0 completes stages immediately.
+	TimeScale float64
+	// EventCap bounds the retained debug event buffer; the oldest
+	// quarter is discarded when full. Default 65536.
+	EventCap int
+}
+
+// Engine is a live scheduling service. Create with New; all methods are
+// safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	reqs    chan func()
+	quit    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+	start   time.Time
+	st      *state
+}
+
+// New validates the configuration and starts the event loop.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Cluster == nil || cfg.Cluster.N() == 0 {
+		return nil, errors.New("engine: Config.Cluster is required")
+	}
+	if cfg.Placer == nil {
+		return nil, errors.New("engine: Config.Placer is required")
+	}
+	cfg.Rho = clamp01(cfg.Rho)
+	cfg.Eps = clamp01(cfg.Eps)
+	if cfg.Policy == sched.Fair {
+		cfg.Eps = 0
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1024
+	}
+	if cfg.EventCap <= 0 {
+		cfg.EventCap = 65536
+	}
+	e := &Engine{
+		cfg:     cfg,
+		reqs:    make(chan func(), 128),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		start:   time.Now(),
+	}
+	e.st = newState(e)
+	go e.loop()
+	return e, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// loop is the single writer: it owns e.st and runs every closure that
+// reads or mutates it. The internal todo queue holds loop-generated
+// follow-up work (coalesced scheduling passes, instant completions) so
+// the loop never blocks sending to its own channel.
+func (e *Engine) loop() {
+	defer close(e.stopped)
+	s := e.st
+	for {
+		for len(s.todo) > 0 {
+			fn := s.todo[0]
+			s.todo = s.todo[1:]
+			fn()
+		}
+		select {
+		case fn := <-e.reqs:
+			fn()
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// do runs fn on the loop and waits for it to finish.
+func (e *Engine) do(fn func()) error {
+	done := make(chan struct{})
+	wrapped := func() {
+		fn()
+		close(done)
+	}
+	select {
+	case e.reqs <- wrapped:
+	case <-e.stopped:
+		return ErrStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-e.stopped:
+		return ErrStopped
+	}
+}
+
+// inject enqueues fn without waiting — used by completion timers.
+func (e *Engine) inject(fn func()) {
+	select {
+	case e.reqs <- fn:
+	case <-e.stopped:
+	}
+}
+
+// now is the engine's event timestamp: wall seconds since start.
+func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
+
+// Close stops the event loop. In-flight jobs are abandoned; use Drain
+// first for a graceful stop. Idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() { close(e.quit) })
+	<-e.stopped
+}
+
+// Drain stops admission and waits until every admitted job has reached
+// a terminal state, or ctx expires.
+func (e *Engine) Drain(ctx context.Context) error {
+	ch := make(chan struct{})
+	err := e.do(func() {
+		s := e.st
+		s.draining = true
+		if s.activeCount == 0 {
+			close(ch)
+		} else {
+			s.drainDone = append(s.drainDone, ch)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.stopped:
+		return ErrStopped
+	}
+}
+
+// Submit admits a job for scheduling. The job's stages are validated
+// against the cluster before entering the loop; the engine assigns the
+// returned ID. The caller must not mutate the job afterwards.
+func (e *Engine) Submit(job *workload.Job) (JobStatus, error) {
+	if job == nil {
+		return JobStatus{}, errors.New("engine: nil job")
+	}
+	if err := job.Validate(); err != nil {
+		return JobStatus{}, fmt.Errorf("engine: %w", err)
+	}
+	n := e.cfg.Cluster.N()
+	for si, st := range job.Stages {
+		for ti, task := range st.Tasks {
+			if st.Kind == workload.MapStage && task.Src >= n {
+				return JobStatus{}, fmt.Errorf("engine: stage %d task %d references site %d beyond cluster (%d sites)", si, ti, task.Src, n)
+			}
+		}
+	}
+	var (
+		status JobStatus
+		serr   error
+	)
+	err := e.do(func() {
+		id, err2 := e.st.submit(job)
+		if err2 != nil {
+			serr = err2
+			return
+		}
+		status = e.st.snapshot(e.st.jobs[id], false)
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return status, serr
+}
+
+// Job returns one job's status snapshot.
+func (e *Engine) Job(id int) (JobStatus, error) {
+	var (
+		status JobStatus
+		serr   error
+	)
+	err := e.do(func() {
+		js, ok := e.st.jobs[id]
+		if !ok {
+			serr = ErrNotFound
+			return
+		}
+		status = e.st.snapshot(js, true)
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return status, serr
+}
+
+// Jobs returns summary snapshots of every job in submission order.
+func (e *Engine) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := e.do(func() {
+		out = make([]JobStatus, 0, len(e.st.order))
+		for _, js := range e.st.order {
+			out = append(out, e.st.snapshot(js, false))
+		}
+	})
+	return out, err
+}
+
+// Cluster returns the live cluster view.
+func (e *Engine) Cluster() (ClusterStatus, error) {
+	var out ClusterStatus
+	err := e.do(func() { out = e.st.clusterStatus() })
+	return out, err
+}
+
+// UpdateCluster applies capacity changes (§4.2 resource dynamics) and
+// re-places affected stages under the UpdateK site-change bound. It
+// returns the number of stages re-placed.
+func (e *Engine) UpdateCluster(ups []SiteUpdate) (int, error) {
+	n := e.cfg.Cluster.N()
+	for _, u := range ups {
+		if u.Site < 0 || u.Site >= n {
+			return 0, fmt.Errorf("engine: site %d out of range [0,%d)", u.Site, n)
+		}
+		if u.Frac < 0 || u.Frac > 1 {
+			return 0, fmt.Errorf("engine: drop fraction %g outside [0,1]", u.Frac)
+		}
+	}
+	var replaced int
+	err := e.do(func() { replaced = e.st.updateCluster(ups) })
+	return replaced, err
+}
+
+// MetricsText renders the metrics registry in the repo's text format.
+func (e *Engine) MetricsText() ([]byte, error) {
+	return e.render(func(s *state) ([]byte, error) { return renderText(s.rec.Registry()) })
+}
+
+// MetricsPrometheus renders the metrics registry in the Prometheus text
+// exposition format under the "tetrium" namespace.
+func (e *Engine) MetricsPrometheus() ([]byte, error) {
+	return e.render(func(s *state) ([]byte, error) { return renderProm(s.rec.Registry()) })
+}
+
+func (e *Engine) render(f func(*state) ([]byte, error)) ([]byte, error) {
+	var (
+		out  []byte
+		rerr error
+	)
+	err := e.do(func() { out, rerr = f(e.st) })
+	if err != nil {
+		return nil, err
+	}
+	return out, rerr
+}
+
+// Events returns a copy of the retained debug event buffer plus the
+// count of older events discarded to honor Config.EventCap.
+func (e *Engine) Events() ([]obs.Event, int64, error) {
+	var (
+		evs     []obs.Event
+		dropped int64
+	)
+	err := e.do(func() {
+		evs = append([]obs.Event(nil), e.st.events...)
+		dropped = e.st.eventsDropped
+	})
+	return evs, dropped, err
+}

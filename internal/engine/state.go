@@ -1,0 +1,814 @@
+package engine
+
+import (
+	"bytes"
+	"time"
+
+	"tetrium/internal/dynamics"
+	"tetrium/internal/obs"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/workload"
+)
+
+// JobPhase is a job's lifecycle state.
+type JobPhase int
+
+// Job phases. Every admitted job ends at JobDone.
+const (
+	// JobPending: admitted, no placement decision yet.
+	JobPending JobPhase = iota
+	// JobRunning: at least one placement decision made.
+	JobRunning
+	// JobDone: all stages complete.
+	JobDone
+)
+
+func (p JobPhase) String() string {
+	switch p {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	default:
+		return "phase?"
+	}
+}
+
+type stagePhase int
+
+const (
+	stageWaiting stagePhase = iota // upstream deps incomplete
+	stageReady                     // schedulable
+	stageRunning                   // holding slots
+	stageDone
+)
+
+func (p stagePhase) String() string {
+	switch p {
+	case stageWaiting:
+		return "waiting"
+	case stageReady:
+		return "ready"
+	case stageRunning:
+		return "running"
+	default:
+		return "done"
+	}
+}
+
+// StageStatus is one stage's view within a JobStatus.
+type StageStatus struct {
+	Index       int
+	Kind        string
+	Phase       string
+	EstSeconds  float64 // LP-estimated remaining processing time
+	TasksBySite []int   // current placement (nil before placement)
+	SlotsHeld   []int   // slots held while running (nil otherwise)
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID         int
+	Name       string
+	Phase      JobPhase
+	StagesDone int
+	NumStages  int
+	Submitted  time.Time
+	Placed     time.Time // zero until the first placement decision
+	Finished   time.Time // zero until terminal
+	WANBytes   float64
+	Stages     []StageStatus // populated on detail reads only
+}
+
+// SiteStatus is one site's live capacity view.
+type SiteStatus struct {
+	Site      int
+	Name      string
+	Slots     int // current capacity (after updates)
+	OrigSlots int // capacity at engine start
+	FreeSlots int // currently unheld (≥ 0)
+	UpBW      float64
+	DownBW    float64
+}
+
+// ClusterStatus is the live cluster view.
+type ClusterStatus struct {
+	Sites      []SiteStatus
+	ActiveJobs int
+	MaxPending int
+	Draining   bool
+}
+
+// SiteUpdate changes one site's capacity (§4.2). Zero-valued fields
+// keep the current setting: Slots < 0 keeps slots, UpBW/DownBW ≤ 0 keep
+// bandwidth. Frac > 0 is a convenience that overrides the absolute
+// fields, dropping that fraction of the site's ORIGINAL capacity
+// (slots and both bandwidths), like a sim.Drop.
+type SiteUpdate struct {
+	Site   int
+	Slots  int
+	UpBW   float64
+	DownBW float64
+	Frac   float64
+}
+
+type jobState struct {
+	id         int
+	name       string
+	spec       *workload.Job
+	phase      JobPhase
+	stages     []*stageRun
+	stagesDone int
+	submitted  time.Time
+	placed     time.Time
+	finished   time.Time
+	wanBytes   float64
+	remTasks   int
+}
+
+func (j *jobState) terminal() bool { return j.phase == JobDone }
+
+type stageRun struct {
+	idx  int
+	spec *workload.Stage
+
+	phase  stagePhase
+	placed bool // placement computed (tasks/est valid)
+
+	tasks      []int   // per-site task assignment (the paper's f)
+	est        float64 // LP estimate of stage processing time, seconds
+	estNet     float64
+	estCompute float64
+	wan        float64 // cross-site bytes this placement moves
+
+	held      []int // slots held per site while running
+	heldTotal int
+	gen       int // invalidates stale completion timers
+
+	interBySite []float64 // reduce input location, from upstream outputs
+	outBySite   []float64 // where this stage's output landed
+}
+
+type state struct {
+	e *Engine
+	n int
+
+	capSlots []int // current per-site capacity (after updates)
+	free     []int // capacity minus held slots (may dip negative after a drop)
+	upBW     []float64
+	downBW   []float64
+
+	jobs        map[int]*jobState
+	order       []*jobState
+	activeCount int
+	nextID      int
+
+	draining  bool
+	drainDone []chan struct{}
+
+	rec           *obs.Recorder
+	events        []obs.Event
+	eventsDropped int64
+
+	todo        []func()
+	schedQueued bool
+	instSeq     int
+}
+
+func newState(e *Engine) *state {
+	cl := e.cfg.Cluster
+	rec := obs.NewRecorder()
+	rec.KeepEvents = false // the state keeps its own bounded buffer
+	return &state{
+		e:        e,
+		n:        cl.N(),
+		capSlots: cl.Slots(),
+		free:     cl.Slots(),
+		upBW:     cl.UpBW(),
+		downBW:   cl.DownBW(),
+		jobs:     make(map[int]*jobState),
+		rec:      rec,
+	}
+}
+
+func (s *state) now() float64 { return s.e.now() }
+
+// emit feeds the metrics registry (via the Recorder) and the bounded
+// debug buffer.
+func (s *state) emit(ev obs.Event) {
+	s.rec.Emit(ev)
+	if cap := s.e.cfg.EventCap; len(s.events) >= cap {
+		drop := cap/4 + 1
+		if drop > len(s.events) {
+			drop = len(s.events)
+		}
+		kept := copy(s.events, s.events[drop:])
+		s.events = s.events[:kept]
+		s.eventsDropped += int64(drop)
+	}
+	s.events = append(s.events, ev)
+}
+
+// scheduleSoon queues one coalesced scheduling pass on the todo queue.
+func (s *state) scheduleSoon() {
+	if s.schedQueued {
+		return
+	}
+	s.schedQueued = true
+	s.todo = append(s.todo, func() {
+		s.schedQueued = false
+		s.schedule()
+	})
+}
+
+// Admission ----------------------------------------------------------------
+
+func (s *state) submit(spec *workload.Job) (int, error) {
+	if s.draining {
+		return 0, ErrDraining
+	}
+	if s.activeCount >= s.e.cfg.MaxPending {
+		s.rec.Registry().Counter("engine.rejected").Inc()
+		return 0, ErrQueueFull
+	}
+	id := s.nextID
+	s.nextID++
+	js := &jobState{
+		id:        id,
+		name:      spec.Name,
+		spec:      spec,
+		submitted: time.Now(),
+	}
+	total := 0
+	for si, st := range spec.Stages {
+		sr := &stageRun{idx: si, spec: st, interBySite: make([]float64, s.n)}
+		if st.Kind == workload.MapStage {
+			sr.phase = stageReady
+		}
+		js.stages = append(js.stages, sr)
+		total += len(st.Tasks)
+	}
+	js.remTasks = total
+	s.jobs[id] = js
+	s.order = append(s.order, js)
+	s.activeCount++
+	s.rec.Registry().Gauge("engine.pending").Set(float64(s.activeCount))
+	t := s.now()
+	s.emit(obs.JobArrival{T: t, Job: id, Name: js.name, Stages: len(js.stages), Tasks: total})
+	for _, sr := range js.stages {
+		if sr.phase == stageReady {
+			s.emit(obs.StageReady{T: t, Job: id, Stage: sr.idx, Tasks: len(sr.spec.Tasks)})
+		}
+	}
+	s.scheduleSoon()
+	return id, nil
+}
+
+// Scheduling instance (admit → order → place → dispatch) -------------------
+
+func (s *state) schedule() {
+	started := time.Now()
+	s.instSeq++
+
+	type cand struct {
+		js     *jobState
+		stages []*stageRun
+	}
+	var cands []cand
+	for _, js := range s.order {
+		if js.terminal() {
+			continue
+		}
+		var ready []*stageRun
+		for _, sr := range js.stages {
+			if sr.phase == stageReady {
+				ready = append(ready, sr)
+			}
+		}
+		if len(ready) > 0 {
+			cands = append(cands, cand{js, ready})
+		}
+	}
+	totalFree := 0
+	for _, f := range s.free {
+		if f > 0 {
+			totalFree += f
+		}
+	}
+	freeAtStart := totalFree
+
+	launched := 0
+	solves := 0
+	var orderIDs []int
+	if len(cands) > 0 && totalFree > 0 {
+		infos := make([]sched.JobInfo, len(cands))
+		remTasks := make([]int, len(cands))
+		for i, c := range cands {
+			est := 0.0
+			for _, sr := range c.stages {
+				if !sr.placed {
+					solves += s.ensurePlacement(c.js, sr, false)
+				}
+				if sr.est > est {
+					est = sr.est
+				}
+			}
+			infos[i] = sched.JobInfo{
+				ID:              c.js.id,
+				RemainingStages: len(c.js.stages) - c.js.stagesDone,
+				EstStageTime:    est,
+				RemainingTasks:  c.js.remTasks,
+			}
+			remTasks[i] = c.js.remTasks
+		}
+		orderIdx := sched.Order(s.e.cfg.Policy, infos)
+		shares := sched.FairShares(totalFree, remTasks)
+		orderIDs = make([]int, len(orderIdx))
+		for i, k := range orderIdx {
+			orderIDs[i] = cands[k].js.id
+		}
+		for _, k := range orderIdx {
+			if totalFree <= 0 {
+				break
+			}
+			budget := sched.Cap(s.e.cfg.Eps, totalFree, shares, k)
+			if budget <= 0 {
+				continue
+			}
+			c := cands[k]
+			for _, sr := range c.stages {
+				if budget <= 0 {
+					break
+				}
+				n := s.launchStage(c.js, sr, &budget)
+				launched += n
+				totalFree -= n
+			}
+		}
+	}
+	s.emit(obs.SchedInstance{
+		T: s.now(), Seq: s.instSeq, Considered: len(cands),
+		Order: orderIDs, FreeSlots: freeAtStart, Launched: launched,
+		LPSolves: solves, WallNanos: time.Since(started).Nanoseconds(),
+	})
+}
+
+// ensurePlacement (re)computes a stage's placement against current
+// capacities. force re-solves even when a placement exists (the §4.2
+// re-place path); the emitted event is then marked Restamp. Returns the
+// number of LP solves performed (0 or 1).
+func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) int {
+	if sr.placed && !force {
+		return 0
+	}
+	res := place.Resources{Slots: s.capSlots, UpBW: s.upBW, DownBW: s.downBW}
+	solveT0 := time.Now()
+	var (
+		fallback bool
+		kind     string
+	)
+	if sr.spec.Kind == workload.MapStage {
+		kind = "map"
+		input := make([]float64, s.n)
+		for _, t := range sr.spec.Tasks {
+			input[t.Src] += t.Input
+		}
+		req := place.MapRequest{
+			InputBySite: input,
+			NumTasks:    len(sr.spec.Tasks),
+			TaskCompute: sr.spec.EstCompute,
+			WANBudget:   place.WANBudget(s.e.cfg.Rho, place.MapBudget, input),
+			OutputBytes: sr.spec.TotalOutput(),
+		}
+		mp, err := s.e.cfg.Placer.PlaceMap(res, req)
+		if err != nil {
+			fallback = true
+			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
+			sr.estNet, sr.estCompute = 0, fallbackEst(sr.spec, s.capSlots)
+			sr.wan = 0
+		} else {
+			quota := make([]int, s.n)
+			for x := range mp.Tasks {
+				for y, c := range mp.Tasks[x] {
+					quota[y] += c
+				}
+			}
+			sr.tasks = quota
+			sr.estNet, sr.estCompute = mp.TAggr, mp.TMap
+			sr.wan = mp.WANBytes(input)
+		}
+	} else {
+		kind = "reduce"
+		req := place.ReduceRequest{
+			InterBySite: sr.interBySite,
+			NumTasks:    len(sr.spec.Tasks),
+			TaskCompute: sr.spec.EstCompute,
+			WANBudget:   place.WANBudget(s.e.cfg.Rho, place.ReduceBudget, sr.interBySite),
+			OutputBytes: sr.spec.TotalOutput(),
+		}
+		rp, err := s.e.cfg.Placer.PlaceReduce(res, req)
+		if err != nil {
+			fallback = true
+			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
+			sr.estNet, sr.estCompute = 0, fallbackEst(sr.spec, s.capSlots)
+			sr.wan = 0
+		} else {
+			sr.tasks = append([]int(nil), rp.Tasks...)
+			sr.estNet, sr.estCompute = rp.TShufl, rp.TRed
+			sr.wan = rp.WANBytes(sr.interBySite)
+		}
+	}
+	sr.est = sr.estNet + sr.estCompute
+	sr.placed = true
+	s.emit(obs.Placement{
+		T: s.now(), Job: js.id, Stage: sr.idx, StageKind: kind,
+		Placer: s.e.cfg.Placer.Name(), Pending: len(sr.spec.Tasks),
+		EstNet: sr.estNet, EstCompute: sr.estCompute, Est: sr.est,
+		TasksBySite: append([]int(nil), sr.tasks...),
+		Fallback:    fallback, Restamp: force,
+		SolveNanos: time.Since(solveT0).Nanoseconds(),
+	})
+	if js.placed.IsZero() {
+		js.placed = time.Now()
+		if js.phase == JobPending {
+			js.phase = JobRunning
+		}
+		s.rec.Registry().Histogram("engine.submit_to_place_s", 1e-6, 4, 16).
+			Observe(js.placed.Sub(js.submitted).Seconds())
+	}
+	return 1
+}
+
+// capacityProportional spreads count tasks over sites proportionally to
+// current capacity — the placement fallback when the placer errors or
+// its chosen sites have lost all capacity.
+func (s *state) capacityProportional(count int) []int {
+	out := make([]int, s.n)
+	totalCap := 0
+	for _, c := range s.capSlots {
+		totalCap += c
+	}
+	if totalCap == 0 {
+		out[0] = count
+		return out
+	}
+	assigned := 0
+	bestIdx, bestCap := 0, -1
+	for x, c := range s.capSlots {
+		out[x] = count * c / totalCap
+		assigned += out[x]
+		if c > bestCap {
+			bestIdx, bestCap = x, c
+		}
+	}
+	out[bestIdx] += count - assigned
+	return out
+}
+
+// fallbackEst is a wave-count compute estimate used when the LP fails.
+func fallbackEst(st *workload.Stage, capSlots []int) float64 {
+	total := 0
+	for _, c := range capSlots {
+		total += c
+	}
+	if total == 0 {
+		total = 1
+	}
+	waves := (len(st.Tasks) + total - 1) / total
+	return float64(waves) * st.EstCompute
+}
+
+// launchStage dispatches a ready, placed stage: it takes the slots the
+// placement demands (bounded by free capacity and the job's ε-fairness
+// budget) and arranges completion after the LP-estimated duration,
+// stretched when fewer slots than the full-capacity demand were
+// available (extra waves). Returns slots taken.
+func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
+	if *budget <= 0 || !sr.placed {
+		return 0
+	}
+	alloc, total := s.allocate(sr.tasks, *budget)
+	if total == 0 {
+		// The placement's sites may have lost all capacity since the
+		// solve (§4.2); retarget proportionally to surviving capacity
+		// and retry once.
+		if !s.anyCapacity(sr.tasks) {
+			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
+			alloc, total = s.allocate(sr.tasks, *budget)
+		}
+		if total == 0 {
+			return 0
+		}
+	}
+	*budget -= total
+	ideal := 0
+	for x, t := range sr.tasks {
+		ideal += minInt(t, s.capSlots[x])
+	}
+	for x, a := range alloc {
+		s.free[x] -= a
+	}
+	sr.held = alloc
+	sr.heldTotal = total
+	sr.phase = stageRunning
+	sr.gen++
+	gen := sr.gen
+
+	js.wanBytes += sr.wan
+	s.rec.Registry().Counter("engine.wan_bytes").Add(sr.wan)
+	s.rec.Registry().Counter("engine.stages_launched").Inc()
+
+	dur := sr.est
+	if ideal > total && total > 0 {
+		dur *= float64(ideal) / float64(total)
+	}
+	wall := time.Duration(dur * s.e.cfg.TimeScale * float64(time.Second))
+	if s.e.cfg.TimeScale <= 0 || wall <= 0 {
+		s.todo = append(s.todo, func() { s.completeStage(js, sr, gen) })
+	} else {
+		time.AfterFunc(wall, func() {
+			s.e.inject(func() { s.completeStage(js, sr, gen) })
+		})
+	}
+	return total
+}
+
+// allocate takes min(want, free, budget) slots site-by-site.
+func (s *state) allocate(want []int, budget int) ([]int, int) {
+	alloc := make([]int, s.n)
+	total := 0
+	for x, w := range want {
+		if total >= budget {
+			break
+		}
+		f := s.free[x]
+		if f <= 0 || w <= 0 {
+			continue
+		}
+		a := minInt(w, f)
+		if total+a > budget {
+			a = budget - total
+		}
+		alloc[x] = a
+		total += a
+	}
+	return alloc, total
+}
+
+// anyCapacity reports whether any site the assignment uses still has
+// capacity.
+func (s *state) anyCapacity(tasks []int) bool {
+	for x, t := range tasks {
+		if t > 0 && s.capSlots[x] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Completion ----------------------------------------------------------------
+
+func (s *state) completeStage(js *jobState, sr *stageRun, gen int) {
+	if sr.phase != stageRunning || sr.gen != gen {
+		return
+	}
+	for x, h := range sr.held {
+		s.free[x] += h
+	}
+	sr.held = nil
+	sr.heldTotal = 0
+	sr.phase = stageDone
+
+	// The stage's output lands where its tasks ran.
+	out := sr.spec.TotalOutput()
+	sr.outBySite = make([]float64, s.n)
+	taskTotal := 0
+	for _, t := range sr.tasks {
+		taskTotal += t
+	}
+	if taskTotal > 0 {
+		for x, t := range sr.tasks {
+			sr.outBySite[x] = out * float64(t) / float64(taskTotal)
+		}
+	} else if s.n > 0 {
+		sr.outBySite[0] = out
+	}
+
+	t := s.now()
+	s.emit(obs.StageDone{T: t, Job: js.id, Stage: sr.idx})
+	js.stagesDone++
+	js.remTasks -= len(sr.spec.Tasks)
+	if js.stagesDone == len(js.stages) {
+		s.finishJob(js, t)
+	} else {
+		s.wakeDownstream(js, t)
+	}
+	s.scheduleSoon()
+}
+
+func (s *state) wakeDownstream(js *jobState, t float64) {
+	for _, down := range js.stages {
+		if down.phase != stageWaiting {
+			continue
+		}
+		ready := true
+		for _, d := range down.spec.Deps {
+			if js.stages[d].phase != stageDone {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		for x := 0; x < s.n; x++ {
+			sum := 0.0
+			for _, d := range down.spec.Deps {
+				sum += js.stages[d].outBySite[x]
+			}
+			down.interBySite[x] = sum
+		}
+		down.phase = stageReady
+		s.emit(obs.StageReady{T: t, Job: js.id, Stage: down.idx, Tasks: len(down.spec.Tasks)})
+	}
+}
+
+func (s *state) finishJob(js *jobState, t float64) {
+	js.phase = JobDone
+	js.finished = time.Now()
+	s.activeCount--
+	s.rec.Registry().Gauge("engine.pending").Set(float64(s.activeCount))
+	s.emit(obs.JobDone{
+		T: t, Job: js.id,
+		Response: js.finished.Sub(js.submitted).Seconds(),
+		WANBytes: js.wanBytes,
+	})
+	if s.draining && s.activeCount == 0 {
+		for _, ch := range s.drainDone {
+			close(ch)
+		}
+		s.drainDone = nil
+	}
+}
+
+// Resource dynamics (§4.2) --------------------------------------------------
+
+func (s *state) updateCluster(ups []SiteUpdate) int {
+	t := s.now()
+	for _, u := range ups {
+		orig := s.e.cfg.Cluster.Sites[u.Site]
+		newSlots, newUp, newDown := u.Slots, u.UpBW, u.DownBW
+		if u.Frac > 0 {
+			newSlots = int(float64(orig.Slots) * (1 - u.Frac))
+			newUp = orig.UpBW * (1 - u.Frac)
+			newDown = orig.DownBW * (1 - u.Frac)
+		}
+		if newSlots >= 0 {
+			delta := s.capSlots[u.Site] - newSlots
+			s.capSlots[u.Site] = newSlots
+			s.free[u.Site] -= delta // may dip negative until running stages drain
+		}
+		const minBW = 1.0 // keep placement LPs away from zero bandwidth
+		if newUp > 0 {
+			s.upBW[u.Site] = maxFloat(newUp, minBW)
+		}
+		if newDown > 0 {
+			s.downBW[u.Site] = maxFloat(newDown, minBW)
+		}
+		frac := 0.0
+		if orig.Slots > 0 {
+			frac = 1 - float64(s.capSlots[u.Site])/float64(orig.Slots)
+		}
+		s.emit(obs.DropEvent{T: t, Site: u.Site, Frac: frac, NewSlots: s.capSlots[u.Site]})
+	}
+	s.rec.Registry().Counter("engine.cluster_updates").Inc()
+	replaced := s.replaceAll()
+	s.rec.Registry().Counter("engine.stages_replaced").Add(float64(replaced))
+	s.scheduleSoon()
+	return replaced
+}
+
+// replaceAll re-solves every live placement under the new capacities
+// and pulls the assignment toward the fresh ideal while changing at
+// most UpdateK sites (dynamics.Reassign, §4.2). Running stages migrate
+// their held slots to match the adjusted assignment.
+func (s *state) replaceAll() int {
+	k := s.e.cfg.UpdateK
+	count := 0
+	for _, js := range s.order {
+		if js.terminal() {
+			continue
+		}
+		for _, sr := range js.stages {
+			if !sr.placed || (sr.phase != stageReady && sr.phase != stageRunning) {
+				continue
+			}
+			old := append([]int(nil), sr.tasks...)
+			s.ensurePlacement(js, sr, true) // re-solve: sr.tasks is now the ideal f*
+			if k > 0 {
+				sr.tasks = dynamics.Reassign(old, sr.tasks, k)
+			}
+			if sr.phase == stageRunning {
+				// Migrate held slots toward the adjusted assignment.
+				for x, h := range sr.held {
+					s.free[x] += h
+				}
+				alloc, total := s.allocate(sr.tasks, len(sr.spec.Tasks))
+				sr.held = alloc
+				sr.heldTotal = total
+			}
+			count++
+		}
+	}
+	return count
+}
+
+// Snapshots ------------------------------------------------------------------
+
+func (s *state) snapshot(js *jobState, detail bool) JobStatus {
+	st := JobStatus{
+		ID:         js.id,
+		Name:       js.name,
+		Phase:      js.phase,
+		StagesDone: js.stagesDone,
+		NumStages:  len(js.stages),
+		Submitted:  js.submitted,
+		Placed:     js.placed,
+		Finished:   js.finished,
+		WANBytes:   js.wanBytes,
+	}
+	if detail {
+		st.Stages = make([]StageStatus, len(js.stages))
+		for i, sr := range js.stages {
+			ss := StageStatus{
+				Index: sr.idx,
+				Kind:  sr.spec.Kind.String(),
+				Phase: sr.phase.String(),
+			}
+			if sr.placed {
+				ss.EstSeconds = sr.est
+				ss.TasksBySite = append([]int(nil), sr.tasks...)
+			}
+			if sr.phase == stageRunning {
+				ss.SlotsHeld = append([]int(nil), sr.held...)
+			}
+			st.Stages[i] = ss
+		}
+	}
+	return st
+}
+
+func (s *state) clusterStatus() ClusterStatus {
+	out := ClusterStatus{
+		ActiveJobs: s.activeCount,
+		MaxPending: s.e.cfg.MaxPending,
+		Draining:   s.draining,
+	}
+	for i, site := range s.e.cfg.Cluster.Sites {
+		free := s.free[i]
+		if free < 0 {
+			free = 0
+		}
+		out.Sites = append(out.Sites, SiteStatus{
+			Site: i, Name: site.Name,
+			Slots: s.capSlots[i], OrigSlots: site.Slots, FreeSlots: free,
+			UpBW: s.upBW[i], DownBW: s.downBW[i],
+		})
+	}
+	return out
+}
+
+// Rendering ------------------------------------------------------------------
+
+func renderText(reg *obs.Registry) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := reg.WriteText(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func renderProm(reg *obs.Registry) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := reg.WritePrometheus(&buf, "tetrium"); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

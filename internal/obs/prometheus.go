@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metric names are prefixed with namespace and
+// sanitized to the Prometheus charset ("lp.solves" → "tetrium_lp_solves").
+// Counters and gauges map directly; histograms are exposed as summaries
+// with 0.5/0.95/0.99 quantiles plus _sum and _count (quantiles are exact
+// — the registry keeps raw samples); series are exposed as gauges
+// holding their latest value. Output is sorted by kind then name, so it
+// is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) (int64, error) {
+	var n int64
+	pr := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		pn := promName(namespace, name)
+		if err := pr("# TYPE %s counter\n%s %s\n", pn, pn, promVal(r.counters[name].Value())); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		pn := promName(namespace, name)
+		if err := pr("# TYPE %s gauge\n%s %s\n", pn, pn, promVal(r.gauges[name].Value())); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		pn := promName(namespace, name)
+		q := h.Quantiles(50, 95, 99)
+		if err := pr("# TYPE %s summary\n", pn); err != nil {
+			return n, err
+		}
+		for i, p := range []string{"0.5", "0.95", "0.99"} {
+			if err := pr("%s{quantile=%q} %s\n", pn, p, promVal(q[i])); err != nil {
+				return n, err
+			}
+		}
+		if err := pr("%s_sum %s\n%s_count %d\n", pn, promVal(h.Sum()), pn, h.Count()); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		last := 0.0
+		if s.Len() > 0 {
+			_, last = s.At(s.Len() - 1)
+		}
+		pn := promName(namespace, name)
+		if err := pr("# TYPE %s gauge\n%s %s\n", pn, pn, promVal(last)); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// promName joins namespace and metric name and maps every character
+// outside the Prometheus name charset [a-zA-Z0-9_:] to '_'.
+func promName(namespace, name string) string {
+	joined := name
+	if namespace != "" {
+		joined = namespace + "_" + name
+	}
+	out := []byte(joined)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promVal formats a sample value; Prometheus spells special values
+// "NaN", "+Inf", "-Inf".
+func promVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

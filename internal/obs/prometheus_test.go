@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs.done").Add(7)
+	r.Gauge("jobs.active").Set(3)
+	h := r.Histogram("sched.wall_ns", 1000, 2, 8)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	r.Series("slots.busy.site01").Append(0, 4)
+	r.Series("slots.busy.site01").Append(5, 9)
+
+	var sb strings.Builder
+	n, err := r.WritePrometheus(&sb, "tetrium")
+	if err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	if n != int64(len(out)) {
+		t.Errorf("byte count %d, wrote %d", n, len(out))
+	}
+
+	for _, want := range []string{
+		"# TYPE tetrium_jobs_done counter\ntetrium_jobs_done 7\n",
+		"# TYPE tetrium_jobs_active gauge\ntetrium_jobs_active 3\n",
+		"# TYPE tetrium_sched_wall_ns summary\n",
+		`tetrium_sched_wall_ns{quantile="0.5"} 50`,
+		`tetrium_sched_wall_ns{quantile="0.99"} 99`,
+		"tetrium_sched_wall_ns_sum 5050\n",
+		"tetrium_sched_wall_ns_count 100\n",
+		"# TYPE tetrium_slots_busy_site01 gauge\ntetrium_slots_busy_site01 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var sb strings.Builder
+	n, err := NewRegistry().WritePrometheus(&sb, "x")
+	if err != nil || n != 0 || sb.Len() != 0 {
+		t.Errorf("empty registry: n=%d err=%v out=%q", n, err, sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"jobs.done":           "t_jobs_done",
+		"wan.bytes.up.site03": "t_wan_bytes_up_site03",
+		"a-b c":               "t_a_b_c",
+		"x:y":                 "t_x:y",
+	}
+	for in, want := range cases {
+		if got := promName("t", in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("", "9abc"); got != "_abc" {
+		t.Errorf("leading digit not sanitized: %q", got)
+	}
+}
+
+func TestPromVal(t *testing.T) {
+	if promVal(math.NaN()) != "NaN" || promVal(math.Inf(1)) != "+Inf" || promVal(math.Inf(-1)) != "-Inf" {
+		t.Error("special values not spelled per exposition format")
+	}
+	if promVal(2.5) != "2.5" {
+		t.Errorf("promVal(2.5) = %q", promVal(2.5))
+	}
+}

@@ -1,0 +1,110 @@
+package tetrium
+
+import (
+	"net/http"
+
+	"tetrium/internal/engine"
+	"tetrium/internal/engine/api"
+)
+
+// Engine is the online scheduling service: the counterpart of Simulate
+// that accepts jobs while they arrive, holds live cluster state behind a
+// single-writer event loop, and runs the paper's placement/ordering
+// pipeline continuously. Create one with NewEngine; serve it over HTTP
+// with EngineHandler (see cmd/tetrium-serve).
+type Engine = engine.Engine
+
+// EngineStatus types re-exported for callers of Engine methods.
+type (
+	// EngineJobStatus is a job snapshot returned by Engine.Submit/Job/Jobs.
+	EngineJobStatus = engine.JobStatus
+	// EngineClusterStatus is the live cluster view from Engine.Cluster.
+	EngineClusterStatus = engine.ClusterStatus
+	// EngineSiteUpdate is one §4.2 capacity change for Engine.UpdateCluster.
+	EngineSiteUpdate = engine.SiteUpdate
+)
+
+// Engine sentinel errors.
+var (
+	// ErrEngineQueueFull: admission would exceed MaxPending — back off.
+	ErrEngineQueueFull = engine.ErrQueueFull
+	// ErrEngineDraining: the engine no longer accepts jobs.
+	ErrEngineDraining = engine.ErrDraining
+)
+
+// EngineOptions configures NewEngine. The knob conventions match
+// Options: Rho/Eps zero values mean 1 unless the corresponding Set flag
+// is true.
+type EngineOptions struct {
+	Cluster   *Cluster
+	Scheduler Scheduler
+
+	// Rho is the WAN-budget knob ρ (§4.3); zero means 1 unless RhoSet.
+	Rho    float64
+	RhoSet bool
+	// Eps is the fairness knob ε (§4.4); zero means 1 unless EpsSet.
+	Eps    float64
+	EpsSet bool
+
+	// UpdateK bounds per-placement site changes on cluster updates
+	// (§4.2); 0 allows full updates.
+	UpdateK int
+	// MaxPending bounds admitted-but-unfinished jobs (backpressure);
+	// 0 means the engine default (1024).
+	MaxPending int
+	// TimeScale converts LP-estimated stage seconds to wall seconds.
+	// 0 means the serving default of 1e-3 (1000× faster than estimated);
+	// negative completes stages instantly.
+	TimeScale float64
+	// EventCap bounds the /debug/events buffer; 0 means the engine
+	// default (65536).
+	EventCap int
+
+	// Check runs every LP solve under the certification layer.
+	Check bool
+}
+
+// NewEngine starts an online scheduling engine. Callers must Close it
+// (or Drain then Close for a graceful stop).
+func NewEngine(o EngineOptions) (*Engine, error) {
+	rho := 1.0
+	if o.RhoSet {
+		rho = o.Rho
+	}
+	eps := 1.0
+	if o.EpsSet {
+		eps = o.Eps
+	}
+	n := 0
+	if o.Cluster != nil {
+		n = o.Cluster.N()
+	}
+	placer, policy, err := plannerFor(o.Scheduler, n, o.Check)
+	if err != nil {
+		return nil, err
+	}
+	scale := o.TimeScale
+	switch {
+	case scale == 0:
+		scale = 1e-3
+	case scale < 0:
+		scale = 0
+	}
+	return engine.New(engine.Config{
+		Cluster:    o.Cluster,
+		Placer:     placer,
+		Policy:     policy,
+		Rho:        rho,
+		Eps:        eps,
+		UpdateK:    o.UpdateK,
+		MaxPending: o.MaxPending,
+		TimeScale:  scale,
+		EventCap:   o.EventCap,
+	})
+}
+
+// EngineHandler serves an Engine over HTTP/JSON: POST /v1/jobs,
+// GET /v1/jobs[/{id}], GET /v1/cluster, POST /v1/cluster/update,
+// GET /metrics (Prometheus), GET /metrics.txt, GET /debug/events
+// (JSONL), GET /healthz.
+func EngineHandler(e *Engine) http.Handler { return api.Handler(e) }

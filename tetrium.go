@@ -148,6 +148,41 @@ const (
 	SchedulerTetris
 )
 
+// Schedulers returns every scheduler in declaration order — handy for
+// iterating comparisons and for building CLI usage strings.
+func Schedulers() []Scheduler {
+	return []Scheduler{
+		SchedulerTetrium, SchedulerIridium, SchedulerInPlace,
+		SchedulerCentralized, SchedulerTetris,
+	}
+}
+
+// SchedulerNames returns the canonical names accepted by ParseScheduler.
+func SchedulerNames() []string {
+	all := Schedulers()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.String()
+	}
+	return names
+}
+
+// ParseScheduler is the inverse of Scheduler.String: it maps a
+// command-line name ("tetrium", "iridium", "in-place", "centralized",
+// "tetris") to the Scheduler constant. "inplace" is accepted as an alias
+// for "in-place" for flag-typing convenience.
+func ParseScheduler(name string) (Scheduler, error) {
+	if name == "inplace" {
+		return SchedulerInPlace, nil
+	}
+	for _, s := range Schedulers() {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("tetrium: unknown scheduler %q (want one of %v)", name, SchedulerNames())
+}
+
 func (s Scheduler) String() string {
 	switch s {
 	case SchedulerTetrium:
@@ -331,26 +366,32 @@ func buildConfig(o Options) (sim.Config, error) {
 		Observer:       o.Observer,
 		Check:          o.Check,
 	}
-	switch o.Scheduler {
-	case SchedulerTetrium:
-		cfg.Placer = tetriumPlacer(o.Cluster.N(), o.Check)
-		cfg.Policy = sched.SRPT
-	case SchedulerIridium:
-		cfg.Placer = place.Iridium{Check: o.Check}
-		cfg.Policy = sched.Fair
-	case SchedulerInPlace:
-		cfg.Placer = place.InPlace{}
-		cfg.Policy = sched.Fair
-	case SchedulerCentralized:
-		cfg.Placer = place.NewCentralized()
-		cfg.Policy = sched.Fair
-	case SchedulerTetris:
-		cfg.Placer = place.Tetris{}
-		cfg.Policy = sched.SRPT
-	default:
-		return sim.Config{}, fmt.Errorf("tetrium: unknown scheduler %v", o.Scheduler)
+	placer, policy, err := plannerFor(o.Scheduler, o.Cluster.N(), o.Check)
+	if err != nil {
+		return sim.Config{}, err
 	}
+	cfg.Placer = placer
+	cfg.Policy = policy
 	return cfg, nil
+}
+
+// plannerFor maps a Scheduler to its placement algorithm and job-ordering
+// policy — the single source of truth shared by Simulate and NewEngine.
+func plannerFor(s Scheduler, n int, check bool) (place.Placer, sched.Policy, error) {
+	switch s {
+	case SchedulerTetrium:
+		return tetriumPlacer(n, check), sched.SRPT, nil
+	case SchedulerIridium:
+		return place.Iridium{Check: check}, sched.Fair, nil
+	case SchedulerInPlace:
+		return place.InPlace{}, sched.Fair, nil
+	case SchedulerCentralized:
+		return place.NewCentralized(), sched.Fair, nil
+	case SchedulerTetris:
+		return place.Tetris{}, sched.SRPT, nil
+	default:
+		return nil, 0, fmt.Errorf("tetrium: unknown scheduler %v", s)
+	}
 }
 
 // tetriumPlacer restricts the map LP's candidate destinations at large

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench fmt fuzz-smoke serve-smoke
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke
 
-ci: vet build race bench-guard fuzz-smoke serve-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,27 @@ bench-guard:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Which benchmarks the fast-placement-path report (BENCH_PR4.json)
+# tracks, and the fixed iteration count that bench/pr4_before.txt was
+# recorded with (-benchtime=20x keeps before/after comparable).
+PLACE_BENCH = BenchmarkSolve$$|BenchmarkPlaceMap|BenchmarkPlaceReduce|BenchmarkEngineSubmit
+PLACE_PKGS  = ./internal/lp ./internal/place ./internal/engine
+
+# Regenerate the placement fast-path benchmark report: run the tracked
+# benchmarks 5×, then diff the medians against the checked-in baseline
+# bench/pr4_before.txt into BENCH_PR4.json (speedup + allocation
+# ratios).
+bench-place:
+	$(GO) test -run '^$$' -bench '$(PLACE_BENCH)' -benchmem -benchtime=20x -count=5 $(PLACE_PKGS) | tee bench/pr4_after.txt
+	$(GO) run ./cmd/benchjson -before bench/pr4_before.txt -after bench/pr4_after.txt -out BENCH_PR4.json
+	@grep geomean BENCH_PR4.json
+
+# One-iteration pass over every benchmark in the placement path: proves
+# the bench harnesses still compile and run without paying for a full
+# measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(PLACE_BENCH)' -benchtime=1x $(PLACE_PKGS)
 
 # Short fuzzing passes over the LP solver (every solution certified
 # against the brute-force reference / duality bound) and the placement

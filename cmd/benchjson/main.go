@@ -1,0 +1,231 @@
+// Command benchjson compares two `go test -bench` output files and
+// writes a JSON report of per-benchmark medians with speedup and
+// allocation ratios. It is the tool behind `make bench-place`:
+//
+//	benchjson -before bench/pr4_before.txt -after bench/pr4_after.txt -out BENCH_PR4.json
+//
+// Repeated runs of the same benchmark (-count=N) are aggregated by
+// median, which is robust to the occasional noisy run on a shared box.
+// Benchmarks present in only one file are reported without ratios.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+// Row is one benchmark's before/after comparison in the JSON report.
+type Row struct {
+	Name string `json:"name"`
+
+	BeforeNsOp     float64 `json:"before_ns_op,omitempty"`
+	BeforeBytesOp  float64 `json:"before_bytes_op,omitempty"`
+	BeforeAllocsOp float64 `json:"before_allocs_op,omitempty"`
+
+	AfterNsOp     float64 `json:"after_ns_op,omitempty"`
+	AfterBytesOp  float64 `json:"after_bytes_op,omitempty"`
+	AfterAllocsOp float64 `json:"after_allocs_op,omitempty"`
+
+	// Speedup is before/after time: 2 means twice as fast.
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocsRatio is before/after allocations: 5 means 5× fewer.
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Before     string `json:"before"`
+	After      string `json:"after"`
+	Benchmarks []Row  `json:"benchmarks"`
+
+	// Geometric means across benchmarks present in both files.
+	GeomeanSpeedup     float64 `json:"geomean_speedup,omitempty"`
+	GeomeanAllocsRatio float64 `json:"geomean_allocs_ratio,omitempty"`
+}
+
+func main() {
+	before := flag.String("before", "", "baseline `go test -bench` output file")
+	after := flag.String("after", "", "current `go test -bench` output file")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+	if *before == "" || *after == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -before and -after are required")
+		os.Exit(2)
+	}
+
+	b, err := parseFile(*before)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	a, err := parseFile(*after)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	rep := compare(*before, *after, b, a)
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFile collects all benchmark result lines, keyed by benchmark
+// name with the -P GOMAXPROCS suffix stripped so runs from machines
+// with different core counts compare.
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if ok {
+			res[name] = append(res[name], s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return res, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   100   12345 ns/op   678 B/op   9 allocs/op
+//
+// The B/op and allocs/op columns are optional (absent without
+// -benchmem).
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsOp, seen = v, true
+		case "B/op":
+			s.bytesOp = v
+		case "allocs/op":
+			s.allocsOp = v
+		}
+	}
+	return name, s, seen
+}
+
+func compare(beforePath, afterPath string, b, a map[string][]sample) Report {
+	names := make(map[string]bool, len(b)+len(a))
+	for n := range b {
+		names[n] = true
+	}
+	for n := range a {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	rep := Report{Before: beforePath, After: afterPath}
+	var logSpeed, logAllocs float64
+	var nSpeed, nAllocs int
+	for _, n := range ordered {
+		row := Row{Name: n}
+		if bs, ok := b[n]; ok {
+			m := medians(bs)
+			row.BeforeNsOp, row.BeforeBytesOp, row.BeforeAllocsOp = m.nsOp, m.bytesOp, m.allocsOp
+		}
+		if as, ok := a[n]; ok {
+			m := medians(as)
+			row.AfterNsOp, row.AfterBytesOp, row.AfterAllocsOp = m.nsOp, m.bytesOp, m.allocsOp
+		}
+		if row.BeforeNsOp > 0 && row.AfterNsOp > 0 {
+			row.Speedup = round2(row.BeforeNsOp / row.AfterNsOp)
+			logSpeed += math.Log(row.Speedup)
+			nSpeed++
+		}
+		if row.BeforeAllocsOp > 0 && row.AfterAllocsOp > 0 {
+			row.AllocsRatio = round2(row.BeforeAllocsOp / row.AfterAllocsOp)
+			logAllocs += math.Log(row.AllocsRatio)
+			nAllocs++
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+	if nSpeed > 0 {
+		rep.GeomeanSpeedup = round2(math.Exp(logSpeed / float64(nSpeed)))
+	}
+	if nAllocs > 0 {
+		rep.GeomeanAllocsRatio = round2(math.Exp(logAllocs / float64(nAllocs)))
+	}
+	return rep
+}
+
+// medians aggregates repeated runs per metric independently — the run
+// with the median time need not be the one with the median allocations
+// (allocations are usually identical across runs anyway).
+func medians(ss []sample) sample {
+	pick := func(get func(sample) float64) float64 {
+		vs := make([]float64, len(ss))
+		for i, s := range ss {
+			vs[i] = get(s)
+		}
+		sort.Float64s(vs)
+		mid := len(vs) / 2
+		if len(vs)%2 == 1 {
+			return vs[mid]
+		}
+		return (vs[mid-1] + vs[mid]) / 2
+	}
+	return sample{
+		nsOp:     pick(func(s sample) float64 { return s.nsOp }),
+		bytesOp:  pick(func(s sample) float64 { return s.bytesOp }),
+		allocsOp: pick(func(s sample) float64 { return s.allocsOp }),
+	}
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -145,9 +145,77 @@ func runLoadgen(seed int64) error {
 		q[0], q[1], q[2])
 	fmt.Printf("loadgen: cluster updates observed: %d drop events, %d re-placements (restamp)\n",
 		drops, restamps)
+	if err := reportSolverStats(client, base); err != nil {
+		return fmt.Errorf("fetch metrics: %w", err)
+	}
 	if *lgDrop != "" && restamps == 0 {
 		return fmt.Errorf("mid-run update produced no re-placements in /debug/events")
 	}
+	return nil
+}
+
+// reportSolverStats scrapes /metrics.txt for the server-side solver
+// picture: placement memo-cache hit rate and LP solver wall time.
+func reportSolverStats(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics.txt")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics.txt: %s", resp.Status)
+	}
+	var (
+		hits, misses, solves float64
+		solveCount           int
+		solveMeanNs          float64
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 {
+			continue
+		}
+		switch fields[0] {
+		case "counter":
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[1] {
+			case "engine.place_cache_hits":
+				hits = v
+			case "engine.place_cache_misses":
+				misses = v
+			case "lp.solves":
+				solves = v
+			}
+		case "histogram":
+			if fields[1] != "lp.solve_ns" {
+				continue
+			}
+			for _, f := range fields[2:] {
+				if v, ok := strings.CutPrefix(f, "count="); ok {
+					solveCount, _ = strconv.Atoi(v)
+				}
+				if v, ok := strings.CutPrefix(f, "mean="); ok {
+					solveMeanNs, _ = strconv.ParseFloat(v, 64)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = hits / (hits + misses) * 100
+	}
+	totalMs := solveMeanNs * float64(solveCount) / 1e6
+	fmt.Printf("loadgen: placement cache: %.0f hits / %.0f misses (%.1f%% hit rate)\n",
+		hits, misses, rate)
+	fmt.Printf("loadgen: LP solver: %.0f solves, %.1fms total wall time (mean %.2fms)\n",
+		solves, totalMs, solveMeanNs/1e6)
 	return nil
 }
 

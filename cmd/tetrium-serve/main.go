@@ -60,6 +60,8 @@ func main() {
 		maxPending  = flag.Int("max-pending", 1024, "admission bound; beyond it submissions get 429")
 		timeScale   = flag.Float64("time-scale", 1e-3, "estimated stage seconds → wall seconds (<= 0: instant)")
 		eventsCap   = flag.Int("events-cap", 65536, "retained /debug/events entries")
+		solvers     = flag.Int("solve-workers", 0, "off-loop placement solver pool size (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("place-cache", 0, "placement memo cache entries (0 = default 4096, negative disables)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 		checkRun    = flag.Bool("check", false, "certify every LP solve")
 
@@ -96,11 +98,13 @@ func main() {
 		Scheduler: sched,
 		Rho:       *rho, RhoSet: true,
 		Eps: *eps, EpsSet: true,
-		UpdateK:    *updateK,
-		MaxPending: *maxPending,
-		TimeScale:  scale,
-		EventCap:   *eventsCap,
-		Check:      *checkRun,
+		UpdateK:        *updateK,
+		MaxPending:     *maxPending,
+		TimeScale:      scale,
+		EventCap:       *eventsCap,
+		SolveWorkers:   *solvers,
+		PlaceCacheSize: *cacheSize,
+		Check:          *checkRun,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)

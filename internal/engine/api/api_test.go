@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"tetrium/internal/cluster"
 	"tetrium/internal/engine"
@@ -62,6 +63,32 @@ func postJob(t *testing.T, srv *httptest.Server, body []byte) (*http.Response, J
 	return resp, st
 }
 
+// pollJobState polls one job until it reaches want (placement solves
+// run off the event loop, so even TimeScale-0 completion is async).
+func pollJobState(t *testing.T, srv *httptest.Server, id int, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		get, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id))
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var detail JobStatus
+		derr := json.NewDecoder(get.Body).Decode(&detail)
+		get.Body.Close()
+		if derr != nil {
+			t.Fatalf("decode: %v", derr)
+		}
+		if detail.State == want {
+			return detail
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d state %q, want %q", id, detail.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestSubmitAndGet(t *testing.T) {
 	srv, _ := testServer(t, nil)
 	resp, st := postJob(t, srv, submitBody(t))
@@ -69,18 +96,7 @@ func TestSubmitAndGet(t *testing.T) {
 		t.Fatalf("status %d, want 202", resp.StatusCode)
 	}
 
-	get, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, st.ID))
-	if err != nil {
-		t.Fatalf("GET job: %v", err)
-	}
-	defer get.Body.Close()
-	var detail JobStatus
-	if err := json.NewDecoder(get.Body).Decode(&detail); err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	if detail.State != "done" { // TimeScale 0: synchronous completion
-		t.Errorf("state %q, want done", detail.State)
-	}
+	detail := pollJobState(t, srv, st.ID, "done")
 	if len(detail.Stages) == 0 {
 		t.Errorf("detail response missing stages")
 	}
@@ -196,7 +212,8 @@ func TestClusterViewAndUpdate(t *testing.T) {
 
 func TestMetricsAndEvents(t *testing.T) {
 	srv, _ := testServer(t, nil)
-	postJob(t, srv, submitBody(t))
+	_, st := postJob(t, srv, submitBody(t))
+	pollJobState(t, srv, st.ID, "done")
 
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {

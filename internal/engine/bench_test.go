@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+	"tetrium/internal/workload"
+)
+
+// BenchmarkEngineSubmit measures the submit-to-terminal cost of the
+// serving path with instant stage completion (TimeScale 0): admission,
+// placement solves, SRPT ordering, dispatch, and completion
+// bookkeeping. Submissions rotate through a small set of distinct jobs,
+// the loadgen-like steady state the placement memo cache targets.
+func BenchmarkEngineSubmit(b *testing.B) {
+	cl := cluster.EC2EightRegions()
+	e, err := New(Config{
+		Cluster:    cl,
+		Placer:     place.Tetrium{},
+		Policy:     sched.SRPT,
+		Rho:        1,
+		Eps:        1,
+		MaxPending: 1 << 30,
+	})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+
+	jobs := workload.Generate(workload.BigData(cl.N(), 8, 21))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			_, err := e.Submit(jobs[i%len(jobs)])
+			if errors.Is(err, ErrQueueFull) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err != nil {
+				b.Fatalf("Submit: %v", err)
+			}
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		b.Fatalf("Drain: %v", err)
+	}
+}

@@ -15,6 +15,16 @@
 // same way. This mirrors the paper's global manager: one decision
 // maker observing arrivals and resource reports (§5).
 //
+// Placement LP solves — the expensive part of a scheduling instance —
+// do not run on the loop. The loop snapshots the current capacities,
+// dispatches the solve to a sized worker pool (Config.SolveWorkers),
+// and commits the resulting placement when the solve re-enters the
+// loop. A resource-generation counter guards the commit: if a §4.2
+// cluster update landed while the LP was solving, the stale result is
+// dropped and the solve re-dispatched against the fresh capacities.
+// Repeated (Resources, request) pairs skip the LP entirely via a
+// canonical-signature memo cache (Config.PlaceCacheSize).
+//
 // Execution model: the engine is a scheduler, not an executor. When a
 // stage is dispatched it holds the slots its placement demands and
 // "runs" for its LP-estimated duration scaled by Config.TimeScale
@@ -30,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -74,6 +85,13 @@ type Config struct {
 	// MaxPending bounds admitted-but-unfinished jobs; submissions beyond
 	// it fail with ErrQueueFull (backpressure). Default 1024.
 	MaxPending int
+	// SolveWorkers sizes the pool that runs placement LP solves off the
+	// event loop. ≤ 0 uses GOMAXPROCS.
+	SolveWorkers int
+	// PlaceCacheSize bounds the placement memo cache in entries; repeated
+	// (Resources, request) pairs reuse the memoized solve. 0 means the
+	// default (4096); negative disables caching.
+	PlaceCacheSize int
 	// TimeScale converts a stage's LP-estimated seconds into wall-clock
 	// run time. ≤ 0 completes stages immediately.
 	TimeScale float64
@@ -92,6 +110,7 @@ type Engine struct {
 	once    sync.Once
 	start   time.Time
 	st      *state
+	pool    *solvePool
 }
 
 // New validates the configuration and starts the event loop.
@@ -113,12 +132,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.EventCap <= 0 {
 		cfg.EventCap = 65536
 	}
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PlaceCacheSize == 0 {
+		cfg.PlaceCacheSize = 4096
+	}
 	e := &Engine{
 		cfg:     cfg,
 		reqs:    make(chan func(), 128),
 		quit:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		start:   time.Now(),
+		pool:    newSolvePool(cfg.SolveWorkers),
 	}
 	e.st = newState(e)
 	go e.loop()
@@ -193,6 +219,7 @@ func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
 func (e *Engine) Close() {
 	e.once.Do(func() { close(e.quit) })
 	<-e.stopped
+	e.pool.close()
 }
 
 // Drain stops admission and waits until every admitted job has reached

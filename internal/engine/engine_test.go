@@ -35,6 +35,39 @@ func mustEngine(t *testing.T, cfg Config) *Engine {
 	return e
 }
 
+// drainOK waits for every admitted job to reach a terminal state.
+// Placement solves run on the worker pool, so completion is
+// asynchronous even with TimeScale 0; tests drain before asserting on
+// terminal state.
+func drainOK(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// waitFirstPlacement polls until the job's first placement decision has
+// been committed back to the loop.
+func waitFirstPlacement(t *testing.T, e *Engine, id int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		js, err := e.Job(id)
+		if err != nil {
+			t.Fatalf("Job(%d): %v", id, err)
+		}
+		if !js.Placed.IsZero() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d not placed within 30s", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // oneStageJob builds a single-map-stage job whose tasks live at src.
 func oneStageJob(src, tasks int, compute float64) *workload.Job {
 	st := &workload.Stage{Kind: workload.MapStage, OutputRatio: 0.5, EstCompute: compute}
@@ -45,8 +78,8 @@ func oneStageJob(src, tasks int, compute float64) *workload.Job {
 }
 
 // TestRunToCompletion: with TimeScale 0 every submitted job must reach
-// a terminal state synchronously (the loop drains its todo queue before
-// answering the next request), with sane status fields.
+// a terminal state once the async placement solves land (Drain), with
+// sane status fields.
 func TestRunToCompletion(t *testing.T) {
 	cl := cluster.PaperExample()
 	e := mustEngine(t, testConfig(cl))
@@ -57,6 +90,7 @@ func TestRunToCompletion(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
+	drainOK(t, e)
 	got, err := e.Jobs()
 	if err != nil {
 		t.Fatalf("Jobs: %v", err)
@@ -308,9 +342,13 @@ func TestUpdateTriggersReplacement(t *testing.T) {
 	cfg.UpdateK = 1
 	e := mustEngine(t, cfg)
 
-	if _, err := e.Submit(oneStageJob(2, 8, 20)); err != nil {
+	st, err := e.Submit(oneStageJob(2, 8, 20))
+	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
+	// The placement lands asynchronously; replaceAll only re-solves
+	// placed stages, so wait for the first decision before the update.
+	waitFirstPlacement(t, e, st.ID)
 	replaced, err := e.UpdateCluster([]SiteUpdate{{Site: 0, Slots: -1, Frac: 0.5}})
 	if err != nil {
 		t.Fatalf("UpdateCluster: %v", err)
@@ -402,6 +440,7 @@ func TestEventCapBound(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
+	drainOK(t, e)
 	evs, dropped, err := e.Events()
 	if err != nil {
 		t.Fatalf("Events: %v", err)
@@ -424,6 +463,7 @@ func TestMetricsRender(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
+	drainOK(t, e)
 	text, err := e.MetricsText()
 	if err != nil {
 		t.Fatalf("MetricsText: %v", err)
@@ -466,6 +506,7 @@ func TestFairPolicyCompletes(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
+	drainOK(t, e)
 	got, err := e.Jobs()
 	if err != nil {
 		t.Fatalf("Jobs: %v", err)
@@ -512,6 +553,7 @@ func ExampleEngine() {
 	})
 	defer e.Close()
 	st, _ := e.Submit(oneStageJob(0, 4, 10))
+	e.Drain(context.Background()) // placement solves land asynchronously
 	done, _ := e.Job(st.ID)
 	fmt.Println(done.Phase)
 	// Output: done

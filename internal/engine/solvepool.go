@@ -1,0 +1,67 @@
+package engine
+
+import "sync"
+
+// solvePool runs placement LP solves off the event loop on a fixed set
+// of worker goroutines. The queue is unbounded (mutex + cond, no
+// channel capacity), so the loop's dispatch never blocks — backpressure
+// on job admission is Config.MaxPending's job, not the solve queue's.
+type solvePool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newSolvePool(workers int) *solvePool {
+	p := &solvePool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *solvePool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		fn()
+	}
+}
+
+// submit enqueues one solve; never blocks.
+func (p *solvePool) submit(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// close stops the workers. Queued solves are discarded — their commit
+// closures would be dropped by Engine.inject anyway once the loop has
+// stopped.
+func (p *solvePool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

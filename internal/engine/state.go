@@ -135,8 +135,10 @@ type stageRun struct {
 	idx  int
 	spec *workload.Stage
 
-	phase  stagePhase
-	placed bool // placement computed (tasks/est valid)
+	phase      stagePhase
+	placed     bool // placement computed (tasks/est valid)
+	solving    bool // async LP solve in flight on the worker pool
+	staleDrops int  // consecutive solves invalidated by cluster updates
 
 	tasks      []int   // per-site task assignment (the paper's f)
 	est        float64 // LP estimate of stage processing time, seconds
@@ -176,13 +178,21 @@ type state struct {
 	todo        []func()
 	schedQueued bool
 	instSeq     int
+
+	cache  *placeCache // placement memo cache (nil when disabled)
+	resGen int         // bumped on every cluster update; stale-solve guard
 }
 
 func newState(e *Engine) *state {
 	cl := e.cfg.Cluster
 	rec := obs.NewRecorder()
 	rec.KeepEvents = false // the state keeps its own bounded buffer
+	var cache *placeCache
+	if e.cfg.PlaceCacheSize > 0 {
+		cache = newPlaceCache(e.cfg.PlaceCacheSize)
+	}
 	return &state{
+		cache:    cache,
 		e:        e,
 		n:        cl.N(),
 		capSlots: cl.Slots(),
@@ -301,7 +311,7 @@ func (s *state) schedule() {
 	freeAtStart := totalFree
 
 	launched := 0
-	solves := 0
+	solves, hits := 0, 0
 	var orderIDs []int
 	if len(cands) > 0 && totalFree > 0 {
 		infos := make([]sched.JobInfo, len(cands))
@@ -310,7 +320,9 @@ func (s *state) schedule() {
 			est := 0.0
 			for _, sr := range c.stages {
 				if !sr.placed {
-					solves += s.ensurePlacement(c.js, sr, false)
+					sv, ht := s.ensurePlacement(c.js, sr, false)
+					solves += sv
+					hits += ht
 				}
 				if sr.est > est {
 					est = sr.est
@@ -352,84 +364,136 @@ func (s *state) schedule() {
 	s.emit(obs.SchedInstance{
 		T: s.now(), Seq: s.instSeq, Considered: len(cands),
 		Order: orderIDs, FreeSlots: freeAtStart, Launched: launched,
-		LPSolves: solves, WallNanos: time.Since(started).Nanoseconds(),
+		LPSolves: solves, CacheHits: hits,
+		WallNanos: time.Since(started).Nanoseconds(),
 	})
 }
 
-// ensurePlacement (re)computes a stage's placement against current
-// capacities. force re-solves even when a placement exists (the §4.2
-// re-place path); the emitted event is then marked Restamp. Returns the
-// number of LP solves performed (0 or 1).
-func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) int {
-	if sr.placed && !force {
-		return 0
+// placeRequest bundles the inputs of one placement solve so the solve
+// itself can run off the loop against a resource snapshot.
+type placeRequest struct {
+	kind string // "map" | "reduce"
+	mreq place.MapRequest
+	rreq place.ReduceRequest
+}
+
+func (pr placeRequest) numTasks() int {
+	if pr.kind == "map" {
+		return pr.mreq.NumTasks
 	}
-	res := place.Resources{Slots: s.capSlots, UpBW: s.upBW, DownBW: s.downBW}
-	solveT0 := time.Now()
-	var (
-		fallback bool
-		kind     string
-	)
+	return pr.rreq.NumTasks
+}
+
+// buildRequest snapshots a stage's placement inputs. The data vectors
+// are copied: the request outlives this loop iteration when the solve
+// is dispatched to the worker pool.
+func (s *state) buildRequest(sr *stageRun) placeRequest {
 	if sr.spec.Kind == workload.MapStage {
-		kind = "map"
 		input := make([]float64, s.n)
 		for _, t := range sr.spec.Tasks {
 			input[t.Src] += t.Input
 		}
-		req := place.MapRequest{
+		return placeRequest{kind: "map", mreq: place.MapRequest{
 			InputBySite: input,
 			NumTasks:    len(sr.spec.Tasks),
 			TaskCompute: sr.spec.EstCompute,
 			WANBudget:   place.WANBudget(s.e.cfg.Rho, place.MapBudget, input),
 			OutputBytes: sr.spec.TotalOutput(),
-		}
-		mp, err := s.e.cfg.Placer.PlaceMap(res, req)
-		if err != nil {
-			fallback = true
-			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
-			sr.estNet, sr.estCompute = 0, fallbackEst(sr.spec, s.capSlots)
-			sr.wan = 0
-		} else {
-			quota := make([]int, s.n)
-			for x := range mp.Tasks {
-				for y, c := range mp.Tasks[x] {
-					quota[y] += c
-				}
-			}
-			sr.tasks = quota
-			sr.estNet, sr.estCompute = mp.TAggr, mp.TMap
-			sr.wan = mp.WANBytes(input)
-		}
-	} else {
-		kind = "reduce"
-		req := place.ReduceRequest{
-			InterBySite: sr.interBySite,
-			NumTasks:    len(sr.spec.Tasks),
-			TaskCompute: sr.spec.EstCompute,
-			WANBudget:   place.WANBudget(s.e.cfg.Rho, place.ReduceBudget, sr.interBySite),
-			OutputBytes: sr.spec.TotalOutput(),
-		}
-		rp, err := s.e.cfg.Placer.PlaceReduce(res, req)
-		if err != nil {
-			fallback = true
-			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
-			sr.estNet, sr.estCompute = 0, fallbackEst(sr.spec, s.capSlots)
-			sr.wan = 0
-		} else {
-			sr.tasks = append([]int(nil), rp.Tasks...)
-			sr.estNet, sr.estCompute = rp.TShufl, rp.TRed
-			sr.wan = rp.WANBytes(sr.interBySite)
-		}
+		}}
 	}
-	sr.est = sr.estNet + sr.estCompute
+	inter := append([]float64(nil), sr.interBySite...)
+	return placeRequest{kind: "reduce", rreq: place.ReduceRequest{
+		InterBySite: inter,
+		NumTasks:    len(sr.spec.Tasks),
+		TaskCompute: sr.spec.EstCompute,
+		WANBudget:   place.WANBudget(s.e.cfg.Rho, place.ReduceBudget, inter),
+		OutputBytes: sr.spec.TotalOutput(),
+	}}
+}
+
+// requestKey builds the canonical cache signature of a solve: current
+// capacities plus every request field, in a fixed order.
+func (s *state) requestKey(pr placeRequest) placeKey {
+	b := newKeyBuilder(4*s.n + 8)
+	b.int(s.n)
+	b.ints(s.capSlots)
+	b.floats(s.upBW)
+	b.floats(s.downBW)
+	if pr.kind == "map" {
+		b.int(0)
+		b.floats(pr.mreq.InputBySite)
+		b.int(pr.mreq.NumTasks)
+		b.float(pr.mreq.TaskCompute)
+		b.float(pr.mreq.WANBudget)
+		b.float(pr.mreq.OutputBytes)
+	} else {
+		b.int(1)
+		b.floats(pr.rreq.InterBySite)
+		b.int(pr.rreq.NumTasks)
+		b.float(pr.rreq.TaskCompute)
+		b.float(pr.rreq.WANBudget)
+		b.float(pr.rreq.OutputBytes)
+	}
+	return b.key()
+}
+
+// solveRequest runs one placement LP. It touches no loop state — only
+// the given placer, resource snapshot, and request — so it is safe on a
+// pool worker. The bool result reports the fallback path (placer error).
+func solveRequest(placer place.Placer, res place.Resources, pr placeRequest) (placeResult, bool) {
+	if pr.kind == "map" {
+		mp, err := placer.PlaceMap(res, pr.mreq)
+		if err != nil {
+			return fallbackResult(res.Slots, pr.mreq.NumTasks, pr.mreq.TaskCompute), true
+		}
+		quota := make([]int, len(res.Slots))
+		for x := range mp.Tasks {
+			for y, c := range mp.Tasks[x] {
+				quota[y] += c
+			}
+		}
+		return placeResult{
+			tasks: quota, estNet: mp.TAggr, estCompute: mp.TMap,
+			wan: mp.WANBytes(pr.mreq.InputBySite),
+		}, false
+	}
+	rp, err := placer.PlaceReduce(res, pr.rreq)
+	if err != nil {
+		return fallbackResult(res.Slots, pr.rreq.NumTasks, pr.rreq.TaskCompute), true
+	}
+	return placeResult{
+		tasks: append([]int(nil), rp.Tasks...), estNet: rp.TShufl, estCompute: rp.TRed,
+		wan: rp.WANBytes(pr.rreq.InterBySite),
+	}, false
+}
+
+func fallbackResult(slots []int, numTasks int, taskCompute float64) placeResult {
+	return placeResult{
+		tasks:      capacityProportional(slots, numTasks),
+		estCompute: fallbackEst(numTasks, taskCompute, slots),
+	}
+}
+
+// maxStaleDrops is how many consecutive generation-guard drops a stage
+// tolerates before its next solve runs synchronously on the loop.
+const maxStaleDrops = 2
+
+// applyPlacement commits a solve result to the stage and emits the
+// Placement event. Always runs on the loop.
+func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r placeResult, fallback, cached, restamp bool, solveNanos int64) {
+	sr.staleDrops = 0
+	sr.tasks = append([]int(nil), r.tasks...)
+	sr.estNet, sr.estCompute = r.estNet, r.estCompute
+	sr.wan = r.wan
+	sr.est = r.estNet + r.estCompute
 	sr.placed = true
 	s.emit(obs.Placement{
-		T: s.now(), Job: js.id, Stage: sr.idx, StageKind: kind,
-		Placer: s.e.cfg.Placer.Name(), Pending: len(sr.spec.Tasks),
+		T: s.now(), Job: js.id, Stage: sr.idx, StageKind: pr.kind,
+		Placer: s.e.cfg.Placer.Name(), Pending: pr.numTasks(),
 		EstNet: sr.estNet, EstCompute: sr.estCompute, Est: sr.est,
 		TasksBySite: append([]int(nil), sr.tasks...),
-		Fallback:    fallback, Restamp: force,
-		SolveNanos: time.Since(solveT0).Nanoseconds(),
+		Fallback:    fallback, Restamp: restamp, Cached: cached,
+		SolveNanos: solveNanos,
 	})
 	if js.placed.IsZero() {
 		js.placed = time.Now()
@@ -439,16 +503,97 @@ func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) int {
 		s.rec.Registry().Histogram("engine.submit_to_place_s", 1e-6, 4, 16).
 			Observe(js.placed.Sub(js.submitted).Seconds())
 	}
-	return 1
+}
+
+// ensurePlacement (re)computes a stage's placement against current
+// capacities. The memo cache is consulted first; a hit commits
+// synchronously. On a miss the LP solve is dispatched to the worker
+// pool with a snapshot of the capacities and the current resource
+// generation — the loop never blocks on a solve — and the placement is
+// committed when the solve re-enters the loop, unless the generation
+// moved (a §4.2 update landed mid-solve), in which case the stale
+// result is dropped and scheduling re-triggered.
+//
+// force re-solves even when a placement exists (the §4.2 re-place
+// path); that path stays synchronous — updateCluster must report how
+// many stages it re-placed — and marks the emitted event Restamp.
+// Returns (LP solves started, cache hits), each 0 or 1.
+func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) (solves, hits int) {
+	if (sr.placed && !force) || sr.solving {
+		return 0, 0
+	}
+	pr := s.buildRequest(sr)
+	var key placeKey
+	if s.cache != nil {
+		key = s.requestKey(pr)
+		if r, ok := s.cache.get(key); ok {
+			s.rec.Registry().Counter("engine.place_cache_hits").Inc()
+			s.applyPlacement(js, sr, pr, r, false, true, force, 0)
+			return 0, 1
+		}
+		s.rec.Registry().Counter("engine.place_cache_misses").Inc()
+	}
+	// Synchronous solves: the §4.2 re-place path (force), and stages
+	// whose async solves keep getting invalidated by a rapid stream of
+	// cluster updates — solving on the loop is the only way to guarantee
+	// progress against the current capacities, so bound the starvation.
+	if force || sr.staleDrops >= maxStaleDrops {
+		t0 := time.Now()
+		res := place.Resources{Slots: s.capSlots, UpBW: s.upBW, DownBW: s.downBW}
+		r, fb := solveRequest(s.e.cfg.Placer, res, pr)
+		s.applyPlacement(js, sr, pr, r, fb, false, force, time.Since(t0).Nanoseconds())
+		if s.cache != nil && !fb {
+			s.cache.put(key, r)
+		}
+		return 1, 0
+	}
+	sr.solving = true
+	res := place.Resources{
+		Slots:  append([]int(nil), s.capSlots...),
+		UpBW:   append([]float64(nil), s.upBW...),
+		DownBW: append([]float64(nil), s.downBW...),
+	}
+	gen := s.resGen
+	placer := s.e.cfg.Placer
+	s.e.pool.submit(func() {
+		t0 := time.Now()
+		r, fb := solveRequest(placer, res, pr)
+		nanos := time.Since(t0).Nanoseconds()
+		s.e.inject(func() { s.commitPlacement(js, sr, pr, key, gen, r, fb, nanos) })
+	})
+	return 1, 0
+}
+
+// commitPlacement lands an off-loop solve back on the loop.
+func (s *state) commitPlacement(js *jobState, sr *stageRun, pr placeRequest, key placeKey, gen int, r placeResult, fallback bool, nanos int64) {
+	sr.solving = false
+	if sr.placed || js.terminal() {
+		return
+	}
+	if gen != s.resGen {
+		// Capacities changed while the LP was solving: the result is
+		// against a stale snapshot. Drop it; the scheduling pass below
+		// re-dispatches against the fresh capacities (synchronously,
+		// after maxStaleDrops consecutive invalidations).
+		sr.staleDrops++
+		s.rec.Registry().Counter("engine.solves_stale_dropped").Inc()
+		s.scheduleSoon()
+		return
+	}
+	s.applyPlacement(js, sr, pr, r, fallback, false, false, nanos)
+	if s.cache != nil && !fallback {
+		s.cache.put(key, r)
+	}
+	s.scheduleSoon()
 }
 
 // capacityProportional spreads count tasks over sites proportionally to
-// current capacity — the placement fallback when the placer errors or
-// its chosen sites have lost all capacity.
-func (s *state) capacityProportional(count int) []int {
-	out := make([]int, s.n)
+// capacity — the placement fallback when the placer errors or its
+// chosen sites have lost all capacity.
+func capacityProportional(slots []int, count int) []int {
+	out := make([]int, len(slots))
 	totalCap := 0
-	for _, c := range s.capSlots {
+	for _, c := range slots {
 		totalCap += c
 	}
 	if totalCap == 0 {
@@ -457,7 +602,7 @@ func (s *state) capacityProportional(count int) []int {
 	}
 	assigned := 0
 	bestIdx, bestCap := 0, -1
-	for x, c := range s.capSlots {
+	for x, c := range slots {
 		out[x] = count * c / totalCap
 		assigned += out[x]
 		if c > bestCap {
@@ -469,7 +614,7 @@ func (s *state) capacityProportional(count int) []int {
 }
 
 // fallbackEst is a wave-count compute estimate used when the LP fails.
-func fallbackEst(st *workload.Stage, capSlots []int) float64 {
+func fallbackEst(numTasks int, taskCompute float64, capSlots []int) float64 {
 	total := 0
 	for _, c := range capSlots {
 		total += c
@@ -477,8 +622,8 @@ func fallbackEst(st *workload.Stage, capSlots []int) float64 {
 	if total == 0 {
 		total = 1
 	}
-	waves := (len(st.Tasks) + total - 1) / total
-	return float64(waves) * st.EstCompute
+	waves := (numTasks + total - 1) / total
+	return float64(waves) * taskCompute
 }
 
 // launchStage dispatches a ready, placed stage: it takes the slots the
@@ -496,7 +641,7 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 		// solve (§4.2); retarget proportionally to surviving capacity
 		// and retry once.
 		if !s.anyCapacity(sr.tasks) {
-			sr.tasks = s.capacityProportional(len(sr.spec.Tasks))
+			sr.tasks = capacityProportional(s.capSlots, len(sr.spec.Tasks))
 			alloc, total = s.allocate(sr.tasks, *budget)
 		}
 		if total == 0 {
@@ -685,6 +830,7 @@ func (s *state) updateCluster(ups []SiteUpdate) int {
 		s.emit(obs.DropEvent{T: t, Site: u.Site, Frac: frac, NewSlots: s.capSlots[u.Site]})
 	}
 	s.rec.Registry().Counter("engine.cluster_updates").Inc()
+	s.resGen++ // invalidate solves in flight against the old capacities
 	replaced := s.replaceAll()
 	s.rec.Registry().Counter("engine.stages_replaced").Add(float64(replaced))
 	s.scheduleSoon()

@@ -249,37 +249,16 @@ func ForwardReverse(o Options) (*Table, error) {
 		if red == nil {
 			continue
 		}
-		fm, err := place.Tetrium{}.PlaceMap(res, mapReq)
+		fwd, rev, err := place.Tetrium{}.PlanBoth(res, mapReq, red.NumTasks(), red.EstCompute, st.OutputRatio)
 		if err != nil {
 			return nil, err
 		}
-		fInter := make([]float64, n)
-		total := mapReq.TotalInput()
-		for x := range fm.Frac {
-			for y, f := range fm.Frac[x] {
-				fInter[y] += f * total * st.OutputRatio
-			}
-		}
-		fr, err := place.Tetrium{}.PlaceReduce(res, place.ReduceRequest{
-			InterBySite: fInter, NumTasks: red.NumTasks(),
-			TaskCompute: red.EstCompute, WANBudget: -1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		forward := fm.EstTime() + fr.EstTime()
-
-		rm, rr, err := place.Tetrium{}.PlaceReverse(res, mapReq, red.NumTasks(), red.EstCompute, st.OutputRatio)
-		if err != nil {
-			return nil, err
-		}
-		reverse := rm.EstTime() + rr.EstTime()
-		best := forward
-		if reverse < best {
-			best = reverse
+		best := fwd.Est
+		if rev.Est < best {
+			best = rev.Est
 			better++
 		}
-		fwdTotal += forward
+		fwdTotal += fwd.Est
 		bestTotal += best
 	}
 	imp := metrics.Reduction(fwdTotal, bestTotal)

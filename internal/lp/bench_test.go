@@ -1,0 +1,63 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a reduce-placement-shaped LP over n sites:
+// variables T_shufl, T_red, r_0..r_{n-1}; upload/download/compute rows
+// per site plus the Eq. 10 sum row — the exact structure internal/place
+// solves on every placement decision, with the paper's 1e9-scale byte
+// coefficients mixed against unit fractions.
+func benchProblem(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	inter := make([]float64, n)
+	upBW := make([]float64, n)
+	downBW := make([]float64, n)
+	slots := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		inter[i] = rng.Float64() * 4e9
+		upBW[i] = (0.1 + rng.Float64()) * 1e9
+		downBW[i] = (0.1 + rng.Float64()) * 1e9
+		slots[i] = float64(4 + rng.Intn(28))
+		total += inter[i]
+	}
+	p := NewProblem()
+	tShufl := p.AddVar("Tshufl", 1)
+	tRed := p.AddVar("Tred", 1)
+	rv := make([]Var, n)
+	for x := 0; x < n; x++ {
+		rv[x] = p.AddVar("r", 0)
+	}
+	for x := 0; x < n; x++ {
+		p.AddConstraint(map[Var]float64{rv[x]: -inter[x], tShufl: -upBW[x]}, LE, -inter[x])
+		p.AddConstraint(map[Var]float64{rv[x]: total - inter[x], tShufl: -downBW[x]}, LE, 0)
+		p.AddConstraint(map[Var]float64{rv[x]: 800 / slots[x], tRed: -1}, LE, 0)
+	}
+	sum := map[Var]float64{}
+	for x := 0; x < n; x++ {
+		sum[rv[x]] = 1
+	}
+	p.AddConstraint(sum, EQ, 1)
+	return p
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		p := benchProblem(n, 3)
+		name := "n=08"
+		if n == 24 {
+			name = "n=24"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(); err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,13 @@
 // The solver uses Dantzig pricing for speed, switching to Bland's rule
 // when it detects stalling, which guarantees termination on degenerate
 // problems.
+//
+// Constraint rows are stored as flat parallel index/coefficient slices
+// in ascending variable order, so every pass over a row — equilibration,
+// tableau assembly, residual checks — visits entries in the same order
+// on every run and solves are bit-for-bit reproducible. All solver
+// scratch state lives in a reusable Workspace; the steady-state solve
+// path allocates only the returned Solution.
 package lp
 
 import (
@@ -110,20 +117,27 @@ func (e *ResidualError) Error() string {
 // Var identifies a decision variable within a Problem.
 type Var int
 
-// constraint is one row of the constraint system.
-type constraint struct {
-	coefs map[Var]float64
-	sense Sense
-	rhs   float64
-}
-
 // Problem is a linear program under construction. All variables are
 // implicitly bounded below by zero. The zero value is not usable; call
-// NewProblem.
+// NewProblem (or AcquireProblem to reuse a pooled one).
+//
+// Constraint rows live in flat parallel slices: row i's entries are
+// ridx[rowStart[i]:rowStart[i+1]] (variable indices, strictly
+// ascending) and rcoef[...] (coefficients). The ascending order is what
+// makes solves deterministic: no pass over a row depends on map
+// iteration order.
 type Problem struct {
-	obj   []float64 // objective coefficient per variable
-	names []string
-	rows  []constraint
+	obj      []float64 // objective coefficient per variable
+	names    []string
+	rowStart []int // len NumConstraints+1 once a row exists; rowStart[0] == 0
+	ridx     []int32
+	rcoef    []float64
+	sense    []Sense
+	rhs      []float64
+
+	// AddConstraint scratch (map entries staged here before AddRow).
+	scratchV []Var
+	scratchC []float64
 }
 
 // NewProblem returns an empty minimization problem.
@@ -131,8 +145,20 @@ func NewProblem() *Problem {
 	return &Problem{}
 }
 
+// Reset empties the problem for reuse, keeping allocated capacity.
+func (p *Problem) Reset() {
+	p.obj = p.obj[:0]
+	p.names = p.names[:0]
+	p.rowStart = p.rowStart[:0]
+	p.ridx = p.ridx[:0]
+	p.rcoef = p.rcoef[:0]
+	p.sense = p.sense[:0]
+	p.rhs = p.rhs[:0]
+}
+
 // AddVar adds a variable with the given objective coefficient and returns
-// its handle. The name is used only for diagnostics.
+// its handle. The name is used only for diagnostics; pass "" on hot
+// paths to avoid building throwaway strings.
 func (p *Problem) AddVar(name string, objCoef float64) Var {
 	p.obj = append(p.obj, objCoef)
 	p.names = append(p.names, name)
@@ -143,26 +169,85 @@ func (p *Problem) AddVar(name string, objCoef float64) Var {
 func (p *Problem) NumVars() int { return len(p.obj) }
 
 // NumConstraints reports the number of constraints added so far.
-func (p *Problem) NumConstraints() int { return len(p.rows) }
+func (p *Problem) NumConstraints() int { return len(p.sense) }
 
 // SetObjCoef overwrites the objective coefficient of v.
 func (p *Problem) SetObjCoef(v Var, c float64) {
 	p.obj[v] = c
 }
 
-// AddConstraint adds the row coefs·x sense rhs. The coefficient map is
-// copied; the caller may reuse it.
-func (p *Problem) AddConstraint(coefs map[Var]float64, sense Sense, rhs float64) {
-	cp := make(map[Var]float64, len(coefs))
-	for v, c := range coefs {
+// AddRow adds the constraint Σ coefs[k]·x[vars[k]] sense rhs without
+// allocating: entries are copied into the problem's flat row storage in
+// ascending variable order (zero coefficients are dropped). The slices
+// may be reused by the caller. A variable repeated within one row
+// panics, as does a variable that was never added.
+func (p *Problem) AddRow(vars []Var, coefs []float64, sense Sense, rhs float64) {
+	if len(vars) != len(coefs) {
+		panic("lp: AddRow vars/coefs length mismatch")
+	}
+	if len(p.rowStart) == 0 {
+		p.rowStart = append(p.rowStart, 0)
+	}
+	start := len(p.ridx)
+	for k, v := range vars {
 		if int(v) < 0 || int(v) >= len(p.obj) {
 			panic(fmt.Sprintf("lp: constraint references unknown variable %d", v))
 		}
-		if c != 0 {
-			cp[v] = c
+		if coefs[k] == 0 {
+			continue
+		}
+		p.ridx = append(p.ridx, int32(v))
+		p.rcoef = append(p.rcoef, coefs[k])
+	}
+	seg := p.ridx[start:]
+	sorted := true
+	for k := 1; k < len(seg); k++ {
+		if seg[k] <= seg[k-1] {
+			sorted = false
+			break
 		}
 	}
-	p.rows = append(p.rows, constraint{coefs: cp, sense: sense, rhs: rhs})
+	if !sorted {
+		cseg := p.rcoef[start:]
+		for k := 1; k < len(seg); k++ {
+			vi, ci := seg[k], cseg[k]
+			j := k - 1
+			for j >= 0 && seg[j] > vi {
+				seg[j+1], cseg[j+1] = seg[j], cseg[j]
+				j--
+			}
+			seg[j+1], cseg[j+1] = vi, ci
+		}
+		for k := 1; k < len(seg); k++ {
+			if seg[k] == seg[k-1] {
+				panic(fmt.Sprintf("lp: duplicate variable %d in constraint row", seg[k]))
+			}
+		}
+	}
+	p.sense = append(p.sense, sense)
+	p.rhs = append(p.rhs, rhs)
+	p.rowStart = append(p.rowStart, len(p.ridx))
+}
+
+// AddConstraint adds the row coefs·x sense rhs. The coefficient map is
+// copied; the caller may reuse it. Entries land in ascending variable
+// order regardless of map iteration order, so the resulting problem is
+// identical across runs.
+func (p *Problem) AddConstraint(coefs map[Var]float64, sense Sense, rhs float64) {
+	vs := p.scratchV[:0]
+	cs := p.scratchC[:0]
+	for v, c := range coefs {
+		vs = append(vs, v)
+		cs = append(cs, c)
+	}
+	p.scratchV, p.scratchC = vs, cs
+	p.AddRow(vs, cs, sense, rhs)
+}
+
+// row returns the flat index/coefficient storage of constraint i.
+func (p *Problem) row(i int) (idx []int32, coef []float64) {
+	lo, hi := p.rowStart[i], p.rowStart[i+1]
+	return p.ridx[lo:hi], p.rcoef[lo:hi]
 }
 
 // Solution is the result of a successful solve.
@@ -199,6 +284,18 @@ const (
 // Solve minimizes the objective and returns the optimal solution.
 // It returns ErrInfeasible or ErrUnbounded for those outcomes.
 //
+// Solve is a thin wrapper over SolveInto with a pooled workspace;
+// callers issuing many solves can hold their own Workspace instead.
+func (p *Problem) Solve() (*Solution, error) {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	return p.SolveInto(ws)
+}
+
+// SolveInto is Solve using the caller's workspace for every scratch
+// buffer the solve needs. The returned Solution does not alias the
+// workspace, so ws may be reused (or released) immediately.
+//
 // The problem is equilibrated before solving: each column is divided by
 // its largest constraint coefficient and each row by its largest scaled
 // coefficient, bringing every entry to O(1). The placement LPs mix
@@ -206,21 +303,22 @@ const (
 // fractions; without scaling, floating-point cancellation in the
 // tableau swamps the small coefficients and the simplex can terminate
 // at an infeasible point.
-func (p *Problem) Solve() (*Solution, error) {
-	sp, scale, err := p.equilibrate()
-	if err != nil {
+func (p *Problem) SolveInto(ws *Workspace) (*Solution, error) {
+	if err := p.equilibrate(ws); err != nil {
 		return nil, err
 	}
-	t := newTableau(sp)
+	t := &ws.tab
+	t.init(ws, len(p.obj))
 	if err := t.phase1(); err != nil {
 		return nil, err
 	}
-	if err := t.phase2(); err != nil {
+	if err := t.phase2(ws.eqObj); err != nil {
 		return nil, err
 	}
-	x := t.extract()
+	x := make([]float64, t.n)
+	t.extract(x)
 	for j := range x {
-		x[j] /= scale.col[j]
+		x[j] /= ws.colScale[j]
 	}
 	// Clamp small negatives the simplex leaves behind on degenerate
 	// bases; anything beyond the feasibility tolerance is a genuine
@@ -244,7 +342,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	// Self-check: residuals of the clamped point against the *original*
 	// (unscaled) constraints.
 	worst, worstRow := 0.0, -1
-	for i := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
 		if r := p.rowResidual(i, x, xscale); r > worst {
 			worst, worstRow = r, i
 		}
@@ -254,11 +352,11 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	// Recover dual multipliers for the original rows from the final
 	// tableau's simplex multipliers (undoing the row/column scaling).
-	dual := make([]float64, len(p.rows))
+	dual := make([]float64, p.NumConstraints())
 	yScaled := t.duals()
-	for i, si := range scale.rowMap {
-		if si >= 0 {
-			dual[i] = yScaled[si] * scale.objFactor / scale.row[si]
+	for i := range dual {
+		if si := ws.rowMap[i]; si >= 0 {
+			dual[i] = yScaled[si] * ws.objFactor / ws.rowScale[si]
 		}
 	}
 	obj := 0.0
@@ -277,7 +375,7 @@ func (p *Problem) Solve() (*Solution, error) {
 // coefficient byte constraint and a unit fraction constraint are judged
 // by the same yardstick.
 func (p *Problem) rowResidual(i int, x []float64, xinf float64) float64 {
-	r := p.rows[i]
+	idx, coef := p.row(i)
 	// Backward-error yardstick: a violation counts relative to
 	// ‖a_i‖∞·‖x‖∞ (plus the rhs magnitude), the perturbation scale a
 	// backward-stable solve can actually promise. Measuring against the
@@ -285,24 +383,25 @@ func (p *Problem) rowResidual(i int, x []float64, xinf float64) float64 {
 	// point can deliver on rows whose large terms cancel to a small
 	// activity, or whose variables all sit at noise level.
 	act, cmax := 0.0, 0.0
-	for v, c := range r.coefs {
+	for k, v := range idx {
+		c := coef[k]
 		act += c * x[v]
 		if a := math.Abs(c); a > cmax {
 			cmax = a
 		}
 	}
-	scale := 1 + math.Abs(r.rhs)
+	scale := 1 + math.Abs(p.rhs[i])
 	if s := cmax * xinf; s > scale {
 		scale = s
 	}
 	viol := 0.0
-	switch r.sense {
+	switch p.sense[i] {
 	case LE:
-		viol = act - r.rhs
+		viol = act - p.rhs[i]
 	case GE:
-		viol = r.rhs - act
+		viol = p.rhs[i] - act
 	case EQ:
-		viol = math.Abs(act - r.rhs)
+		viol = math.Abs(act - p.rhs[i])
 	}
 	if viol <= 0 {
 		return 0
@@ -329,7 +428,7 @@ func (p *Problem) Residual(x []float64) float64 {
 			}
 		}
 	}
-	for i := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
 		if r := p.rowResidual(i, x, xscale); r > worst {
 			worst = r
 		}
@@ -341,12 +440,12 @@ func (p *Problem) Residual(x []float64) float64 {
 // sense and right-hand side. Exported for the internal/check certifier
 // and for diagnostics.
 func (p *Problem) Constraint(i int) (coefs map[Var]float64, sense Sense, rhs float64) {
-	r := p.rows[i]
-	cp := make(map[Var]float64, len(r.coefs))
-	for v, c := range r.coefs {
-		cp[v] = c
+	idx, coef := p.row(i)
+	cp := make(map[Var]float64, len(idx))
+	for k, v := range idx {
+		cp[Var(v)] = coef[k]
 	}
-	return cp, r.sense, r.rhs
+	return cp, p.sense[i], p.rhs[i]
 }
 
 // ObjCoef returns the objective coefficient of v.
@@ -360,85 +459,74 @@ func (p *Problem) VarName(v Var) string { return p.names[v] }
 // the optimal objective whenever y is dual-feasible.
 func (p *Problem) DualObjective(y []float64) float64 {
 	obj := 0.0
-	for i, r := range p.rows {
-		obj += y[i] * r.rhs
+	for i, r := range p.rhs {
+		obj += y[i] * r
 	}
 	return obj
 }
 
-// scaling records the transformations equilibrate applied, so Solve can
-// map the scaled solution and its dual multipliers back to the original
-// problem: x_j = x'_j/col_j, y_i = y'_si · objFactor / row_si where
-// si = rowMap[i] (−1 for rows dropped as trivially redundant).
-type scaling struct {
-	col       []float64
-	row       []float64 // indexed by scaled-row position
-	rowMap    []int     // original row index → scaled row index or −1
-	objFactor float64
-}
-
-// equilibrate returns a scaled copy of the problem plus the applied
-// scaling (substitution x'_j = colScale_j · x_j, so x_j = x'_j/colScale_j
-// recovers the original solution). It applies a few rounds of
-// geometric-mean row/column scaling, which shrinks the coefficient
-// *spread* — a max-based scaling would leave columns mixing 10¹⁰-scale
-// byte coefficients with unit task-fraction coefficients at a 10⁻¹⁰
-// relative magnitude, below the solver's zero thresholds. Rows whose
+// equilibrate writes a scaled copy of the problem into ws (substitution
+// x'_j = colScale_j · x_j, so x_j = x'_j/colScale_j recovers the
+// original solution). It applies a few rounds of geometric-mean
+// row/column scaling, which shrinks the coefficient *spread* — a
+// max-based scaling would leave columns mixing 10¹⁰-scale byte
+// coefficients with unit task-fraction coefficients at a 10⁻¹⁰ relative
+// magnitude, below the solver's zero thresholds. Rows whose
 // coefficients are all zero are checked for trivial consistency and
-// dropped.
-func (p *Problem) equilibrate() (*Problem, scaling, error) {
+// dropped; ws.rowMap records the surviving-row index of each original
+// row (−1 when dropped) and SolveInto uses it plus ws.rowScale /
+// ws.objFactor to map dual multipliers back: y_i = y'_si·objFactor/row_si.
+func (p *Problem) equilibrate(ws *Workspace) error {
 	n := len(p.obj)
-	// Dense-ish working copy of the rows, dropping trivial ones.
-	type row struct {
-		coefs map[Var]float64
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]row, 0, len(p.rows))
-	rowMap := make([]int, len(p.rows))
-	for i, r := range p.rows {
-		rowMap[i] = -1
-		nonzero := false
-		for _, c := range r.coefs {
-			if c != 0 {
-				nonzero = true
-				break
-			}
-		}
-		if !nonzero {
+	m := p.NumConstraints()
+	ws.eqRowStart = ws.eqRowStart[:0]
+	ws.eqIdx = ws.eqIdx[:0]
+	ws.eqCoef = ws.eqCoef[:0]
+	ws.eqSense = ws.eqSense[:0]
+	ws.eqRhs = ws.eqRhs[:0]
+	ws.rowMap = grow(ws.rowMap, m)
+	ws.eqRowStart = append(ws.eqRowStart, 0)
+	for i := 0; i < m; i++ {
+		lo, hi := p.rowStart[i], p.rowStart[i+1]
+		ws.rowMap[i] = -1
+		if lo == hi { // AddRow drops zero coefficients, so empty means trivial
 			switch {
-			case r.sense == LE && r.rhs >= -1e-12,
-				r.sense == GE && r.rhs <= 1e-12,
-				r.sense == EQ && math.Abs(r.rhs) <= 1e-12:
+			case p.sense[i] == LE && p.rhs[i] >= -1e-12,
+				p.sense[i] == GE && p.rhs[i] <= 1e-12,
+				p.sense[i] == EQ && math.Abs(p.rhs[i]) <= 1e-12:
 				continue
 			default:
-				return nil, scaling{}, ErrInfeasible
+				return ErrInfeasible
 			}
 		}
-		cp := make(map[Var]float64, len(r.coefs))
-		for v, c := range r.coefs {
-			cp[v] = c
-		}
-		rowMap[i] = len(rows)
-		rows = append(rows, row{coefs: cp, sense: r.sense, rhs: r.rhs})
+		ws.rowMap[i] = len(ws.eqSense)
+		ws.eqIdx = append(ws.eqIdx, p.ridx[lo:hi]...)
+		ws.eqCoef = append(ws.eqCoef, p.rcoef[lo:hi]...)
+		ws.eqSense = append(ws.eqSense, p.sense[i])
+		ws.eqRhs = append(ws.eqRhs, p.rhs[i])
+		ws.eqRowStart = append(ws.eqRowStart, len(ws.eqIdx))
 	}
+	sm := len(ws.eqSense)
 
-	colScale := make([]float64, n)
-	for j := range colScale {
-		colScale[j] = 1
+	ws.colScale = grow(ws.colScale, n)
+	for j := range ws.colScale {
+		ws.colScale[j] = 1
 	}
-	rowScale := make([]float64, len(rows))
-	for i := range rowScale {
-		rowScale[i] = 1
+	ws.rowScale = grow(ws.rowScale, sm)
+	for i := range ws.rowScale {
+		ws.rowScale[i] = 1
 	}
+	ws.minC = grow(ws.minC, n)
+	ws.maxC = grow(ws.maxC, n)
 	const rounds = 6
 	for iter := 0; iter < rounds; iter++ {
 		// Row pass: divide each row by the geometric mean of its extreme
 		// coefficient magnitudes.
-		for i := range rows {
+		for i := 0; i < sm; i++ {
+			lo, hi := ws.eqRowStart[i], ws.eqRowStart[i+1]
 			minA, maxA := math.Inf(1), 0.0
-			for _, c := range rows[i].coefs {
-				if a := math.Abs(c); a > 0 {
+			for k := lo; k < hi; k++ {
+				if a := math.Abs(ws.eqCoef[k]); a > 0 {
 					if a < minA {
 						minA = a
 					}
@@ -454,42 +542,46 @@ func (p *Problem) equilibrate() (*Problem, scaling, error) {
 			if g <= 0 || math.Abs(math.Log(g)) < 1e-3 {
 				continue
 			}
-			for v := range rows[i].coefs {
-				rows[i].coefs[v] /= g
+			for k := lo; k < hi; k++ {
+				ws.eqCoef[k] /= g
 			}
-			rows[i].rhs /= g
-			rowScale[i] *= g
+			ws.eqRhs[i] /= g
+			ws.rowScale[i] *= g
 		}
 		// Column pass.
-		minC := make([]float64, n)
-		maxC := make([]float64, n)
-		for j := range minC {
+		minC, maxC := ws.minC, ws.maxC
+		for j := 0; j < n; j++ {
 			minC[j] = math.Inf(1)
+			maxC[j] = 0
 		}
-		for i := range rows {
-			for v, c := range rows[i].coefs {
-				if a := math.Abs(c); a > 0 {
-					if a < minC[v] {
-						minC[v] = a
-					}
-					if a > maxC[v] {
-						maxC[v] = a
-					}
+		for k, v := range ws.eqIdx {
+			if a := math.Abs(ws.eqCoef[k]); a > 0 {
+				if a < minC[v] {
+					minC[v] = a
+				}
+				if a > maxC[v] {
+					maxC[v] = a
 				}
 			}
 		}
+		// Per-column divisor, staged into minC so the apply pass below is
+		// one linear sweep over the flat storage.
+		any := false
 		for j := 0; j < n; j++ {
-			if maxC[j] == 0 {
-				continue
+			g := 1.0
+			if maxC[j] != 0 {
+				if gg := math.Sqrt(minC[j] * maxC[j]); gg > 0 && math.Abs(math.Log(gg)) >= 1e-3 {
+					g = gg
+					ws.colScale[j] *= g
+					any = true
+				}
 			}
-			g := math.Sqrt(minC[j] * maxC[j])
-			if g <= 0 || math.Abs(math.Log(g)) < 1e-3 {
-				continue
-			}
-			colScale[j] *= g
-			for i := range rows {
-				if c, ok := rows[i].coefs[Var(j)]; ok {
-					rows[i].coefs[Var(j)] = c / g
+			minC[j] = g
+		}
+		if any {
+			for k, v := range ws.eqIdx {
+				if g := minC[v]; g != 1 {
+					ws.eqCoef[k] /= g
 				}
 			}
 		}
@@ -501,395 +593,40 @@ func (p *Problem) equilibrate() (*Problem, scaling, error) {
 	// absolute epsilons, so a row sitting at 1e-10 has violations the
 	// solver cannot see that map back to large relative violations of
 	// the original constraint.
-	for i := range rows {
+	for i := 0; i < sm; i++ {
+		lo, hi := ws.eqRowStart[i], ws.eqRowStart[i+1]
 		maxA := 0.0
-		for _, c := range rows[i].coefs {
-			if a := math.Abs(c); a > maxA {
+		for k := lo; k < hi; k++ {
+			if a := math.Abs(ws.eqCoef[k]); a > maxA {
 				maxA = a
 			}
 		}
 		if maxA == 0 {
 			continue
 		}
-		for v := range rows[i].coefs {
-			rows[i].coefs[v] /= maxA
+		for k := lo; k < hi; k++ {
+			ws.eqCoef[k] /= maxA
 		}
-		rows[i].rhs /= maxA
-		rowScale[i] *= maxA
+		ws.eqRhs[i] /= maxA
+		ws.rowScale[i] *= maxA
 	}
 
-	sp := &Problem{obj: make([]float64, n), names: p.names}
+	ws.eqObj = grow(ws.eqObj, n)
 	objMax := 0.0
-	for j := range sp.obj {
-		sp.obj[j] = p.obj[j] / colScale[j]
-		if a := math.Abs(sp.obj[j]); a > objMax {
+	for j := 0; j < n; j++ {
+		ws.eqObj[j] = p.obj[j] / ws.colScale[j]
+		if a := math.Abs(ws.eqObj[j]); a > objMax {
 			objMax = a
 		}
 	}
 	if objMax > 0 {
-		for j := range sp.obj {
-			sp.obj[j] /= objMax
+		for j := range ws.eqObj {
+			ws.eqObj[j] /= objMax
 		}
 	}
-	objFactor := objMax
-	if objFactor == 0 {
-		objFactor = 1
-	}
-	for _, r := range rows {
-		sp.rows = append(sp.rows, constraint{coefs: r.coefs, sense: r.sense, rhs: r.rhs})
-	}
-	return sp, scaling{col: colScale, row: rowScale, rowMap: rowMap, objFactor: objFactor}, nil
-}
-
-// tableau holds the dense simplex tableau. Columns: the n structural
-// variables, then slack/surplus variables, then artificial variables.
-// Rows: one per constraint, plus the objective row held separately.
-type tableau struct {
-	p       *Problem
-	m, n    int // constraints, structural variables
-	ncols   int // total columns (structural + slack + artificial)
-	nslack  int
-	nart    int
-	a       [][]float64 // m rows × ncols
-	b       []float64   // m
-	basis   []int       // column index basic in each row
-	artCols []int       // column indices of artificial variables
-
-	// idCol[i] is the column that started as row i's identity column
-	// (+1 slack for LE rows, +1 artificial for GE/EQ rows): after
-	// pivoting it holds B⁻¹e_i, from which the simplex multipliers are
-	// read. flip[i] marks rows negated during rhs normalization (their
-	// multiplier changes sign). degenerate is set when phase 1 leaves a
-	// redundant row's artificial basic.
-	idCol      []int
-	flip       []bool
-	degenerate bool
-}
-
-func newTableau(p *Problem) *tableau {
-	m := len(p.rows)
-	n := len(p.obj)
-	t := &tableau{p: p, m: m, n: n}
-
-	// Count slack/surplus columns.
-	for _, r := range p.rows {
-		if r.sense != EQ {
-			t.nslack++
-		}
-	}
-	// Artificial variables: one per row that needs it. GE and EQ rows
-	// always need one; LE rows need one only when rhs < 0 (after sign
-	// normalization they become GE-like). We normalize rhs >= 0 first,
-	// flipping the sense, and then LE rows start basic on their slack.
-	// Allocate pessimistically one artificial per row; unused ones are
-	// simply never created.
-	t.a = make([][]float64, m)
-	t.b = make([]float64, m)
-	t.basis = make([]int, m)
-	t.idCol = make([]int, m)
-	t.flip = make([]bool, m)
-
-	// First pass: normalize rows so rhs >= 0 and count artificials.
-	type normRow struct {
-		coefs map[Var]float64
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]normRow, m)
-	for i, r := range p.rows {
-		nr := normRow{coefs: r.coefs, sense: r.sense, rhs: r.rhs}
-		if nr.rhs < 0 {
-			t.flip[i] = true
-			flipped := make(map[Var]float64, len(nr.coefs))
-			for v, c := range nr.coefs {
-				flipped[v] = -c
-			}
-			nr.coefs = flipped
-			nr.rhs = -nr.rhs
-			switch nr.sense {
-			case LE:
-				nr.sense = GE
-			case GE:
-				nr.sense = LE
-			}
-		}
-		rows[i] = nr
-		if nr.sense != LE {
-			t.nart++
-		}
-	}
-	t.ncols = n + t.nslack + t.nart
-
-	slackAt := n
-	artAt := n + t.nslack
-	for i, r := range rows {
-		row := make([]float64, t.ncols)
-		for v, c := range r.coefs {
-			row[v] = c
-		}
-		t.b[i] = r.rhs
-		switch r.sense {
-		case LE:
-			row[slackAt] = 1
-			t.basis[i] = slackAt
-			t.idCol[i] = slackAt
-			slackAt++
-		case GE:
-			row[slackAt] = -1
-			slackAt++
-			row[artAt] = 1
-			t.basis[i] = artAt
-			t.idCol[i] = artAt
-			t.artCols = append(t.artCols, artAt)
-			artAt++
-		case EQ:
-			row[artAt] = 1
-			t.basis[i] = artAt
-			t.idCol[i] = artAt
-			t.artCols = append(t.artCols, artAt)
-			artAt++
-		}
-		t.a[i] = row
-	}
-	return t
-}
-
-// pivot performs a pivot on (row, col) using Gauss-Jordan elimination.
-func (t *tableau) pivot(row, col int) {
-	pr := t.a[row]
-	pv := pr[col]
-	inv := 1 / pv
-	for j := range pr {
-		pr[j] *= inv
-	}
-	t.b[row] *= inv
-	pr[col] = 1 // fight rounding
-	for i := range t.a {
-		if i == row {
-			continue
-		}
-		f := t.a[i][col]
-		if f == 0 {
-			continue
-		}
-		ri := t.a[i]
-		for j := range ri {
-			ri[j] -= f * pr[j]
-		}
-		ri[col] = 0
-		t.b[i] -= f * t.b[row]
-	}
-	t.basis[row] = col
-}
-
-// simplexLoop runs the simplex method minimizing the reduced-cost vector
-// derived from cost (one entry per column). allowed reports whether a
-// column may enter the basis. Returns ErrUnbounded when no leaving row
-// exists for an improving column.
-func (t *tableau) simplexLoop(cost []float64, allowed func(col int) bool) error {
-	// Reduced costs are recomputed from scratch each iteration via the
-	// basis multipliers; for the problem sizes here (≤ ~3000 columns,
-	// ≤ ~200 rows) this is plenty fast and numerically robust.
-	maxIter := 50 * (t.m + t.ncols)
-	if maxIter < 10000 {
-		maxIter = 10000
-	}
-	stall := 0
-	prevObj := math.Inf(1)
-	for iter := 0; iter < maxIter; iter++ {
-		// y = c_B B^{-1} is implicit: since we keep the full tableau in
-		// canonical form, reduced cost of col j is cost[j] - Σ_i
-		// cost[basis[i]] * a[i][j].
-		rc := make([]float64, t.ncols)
-		copy(rc, cost)
-		for i, bc := range t.basis {
-			cb := cost[bc]
-			if cb == 0 {
-				continue
-			}
-			ri := t.a[i]
-			for j := range rc {
-				rc[j] -= cb * ri[j]
-			}
-		}
-		// Objective value for stall detection.
-		obj := 0.0
-		for i, bc := range t.basis {
-			obj += cost[bc] * t.b[i]
-		}
-		if obj < prevObj-eps {
-			stall = 0
-		} else {
-			stall++
-		}
-		prevObj = obj
-
-		bland := stall > 2*(t.m+2)
-
-		// Entering column.
-		enter := -1
-		best := -epsCost
-		for j := 0; j < t.ncols; j++ {
-			if !allowed(j) {
-				continue
-			}
-			if rc[j] < -epsCost {
-				if bland {
-					enter = j
-					break
-				}
-				if rc[j] < best {
-					best = rc[j]
-					enter = j
-				}
-			}
-		}
-		if enter == -1 {
-			return nil // optimal
-		}
-		// Leaving row: min ratio test. Ties (ubiquitous on degenerate
-		// vertices, where every ratio is zero) are broken by the largest
-		// pivot element — chained pivots on near-zero elements multiply
-		// roundoff until the tableau's reduced costs no longer describe
-		// the real problem and phase 1 misreports feasible instances as
-		// infeasible. Under Bland's rule the smallest basis index wins
-		// instead, preserving the anti-cycling guarantee.
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			aij := t.a[i][enter]
-			if aij <= eps {
-				continue
-			}
-			ratio := t.b[i] / aij
-			switch {
-			case ratio < bestRatio-eps:
-				bestRatio = ratio
-				leave = i
-			case leave >= 0 && ratio < bestRatio+eps:
-				if ratio < bestRatio {
-					bestRatio = ratio
-				}
-				if bland {
-					if t.basis[i] < t.basis[leave] {
-						leave = i
-					}
-				} else if aij > t.a[leave][enter] {
-					leave = i
-				}
-			}
-		}
-		if leave == -1 {
-			return ErrUnbounded
-		}
-		t.pivot(leave, enter)
-	}
-	return errors.New("lp: simplex iteration limit exceeded")
-}
-
-// phase1 drives artificial variables to zero, establishing feasibility.
-func (t *tableau) phase1() error {
-	if t.nart == 0 {
-		return nil
-	}
-	cost := make([]float64, t.ncols)
-	isArt := make([]bool, t.ncols)
-	for _, c := range t.artCols {
-		cost[c] = 1
-		isArt[c] = true
-	}
-	if err := t.simplexLoop(cost, func(int) bool { return true }); err != nil {
-		if errors.Is(err, ErrUnbounded) {
-			// Phase 1 objective is bounded below by 0; unbounded here
-			// indicates a numerical breakdown, not a model property.
-			return errors.New("lp: phase 1 reported unbounded (numerical failure)")
-		}
-		return err
-	}
-	// Check artificial objective ~ 0.
-	obj := 0.0
-	for i, bc := range t.basis {
-		obj += cost[bc] * t.b[i]
-	}
-	if obj > 1e-6 {
-		return ErrInfeasible
-	}
-	// Drive any artificial still in the basis (at zero level) out of it.
-	for i, bc := range t.basis {
-		if !isArt[bc] {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < t.ncols; j++ {
-			if isArt[j] {
-				continue
-			}
-			if math.Abs(t.a[i][j]) > 1e-7 {
-				t.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		// If the row is all zeros over non-artificial columns it is a
-		// redundant constraint; leaving the artificial basic at level 0
-		// is harmless as long as it never re-enters (phase 2 disallows
-		// artificial columns from entering) — but the basis is then
-		// degenerate, which Solve surfaces via Status.
-		if !pivoted {
-			t.degenerate = true
-		}
+	ws.objFactor = objMax
+	if ws.objFactor == 0 {
+		ws.objFactor = 1
 	}
 	return nil
-}
-
-// duals reads the phase-2 simplex multipliers y = c_B·B⁻¹ off the final
-// tableau: column idCol[i] started as e_i, so it now holds B⁻¹e_i and
-// y_i = Σ_k cost[basis[k]]·a[k][idCol[i]]. Rows negated during rhs
-// normalization get their multiplier's sign restored.
-func (t *tableau) duals() []float64 {
-	cost := make([]float64, t.ncols)
-	copy(cost, t.p.obj)
-	y := make([]float64, t.m)
-	for i := 0; i < t.m; i++ {
-		v := 0.0
-		for k, bc := range t.basis {
-			if cb := cost[bc]; cb != 0 {
-				v += cb * t.a[k][t.idCol[i]]
-			}
-		}
-		if t.flip[i] {
-			v = -v
-		}
-		y[i] = v
-	}
-	return y
-}
-
-// phase2 minimizes the true objective over the feasible region found in
-// phase 1, never letting artificial columns re-enter.
-func (t *tableau) phase2() error {
-	cost := make([]float64, t.ncols)
-	copy(cost, t.p.obj)
-	isArt := make([]bool, t.ncols)
-	for _, c := range t.artCols {
-		isArt[c] = true
-	}
-	return t.simplexLoop(cost, func(col int) bool { return !isArt[col] })
-}
-
-// extract reads off structural variable values from the tableau. It
-// deliberately does NOT clamp negative basic values: Solve judges the
-// unscaled point against the feasibility tolerance and either zeroes
-// near-zero negatives or rejects the solve with a ResidualError. (An
-// earlier version clamped only values in (−1e-7, 0) here, in scaled
-// space — larger negative residue, amplified by the column unscaling,
-// leaked out as negative task fractions.)
-func (t *tableau) extract() []float64 {
-	x := make([]float64, t.n)
-	for i, bc := range t.basis {
-		if bc < t.n {
-			x[bc] = t.b[i]
-		}
-	}
-	return x
 }

@@ -170,8 +170,8 @@ func TestZeroConstraintCoefficientsDropped(t *testing.T) {
 	x := p.AddVar("x", 1)
 	y := p.AddVar("y", 0)
 	p.AddConstraint(map[Var]float64{x: 1, y: 0}, GE, 5)
-	if got := len(p.rows[0].coefs); got != 1 {
-		t.Errorf("stored %d coefficients, want 1 (zero dropped)", got)
+	if coefs, _, _ := p.Constraint(0); len(coefs) != 1 {
+		t.Errorf("stored %d coefficients, want 1 (zero dropped)", len(coefs))
 	}
 	s, err := p.Solve()
 	if err != nil {
@@ -199,22 +199,23 @@ func feasible(p *Problem, x []float64, tol float64) bool {
 			return false
 		}
 	}
-	for _, r := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
+		coefs, sense, rhs := p.Constraint(i)
 		lhs := 0.0
-		for v, c := range r.coefs {
+		for v, c := range coefs {
 			lhs += c * x[v]
 		}
-		switch r.sense {
+		switch sense {
 		case LE:
-			if lhs > r.rhs+tol {
+			if lhs > rhs+tol {
 				return false
 			}
 		case GE:
-			if lhs < r.rhs-tol {
+			if lhs < rhs-tol {
 				return false
 			}
 		case EQ:
-			if math.Abs(lhs-r.rhs) > tol {
+			if math.Abs(lhs-rhs) > tol {
 				return false
 			}
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lp
+
+const raceEnabled = false

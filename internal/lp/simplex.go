@@ -1,0 +1,349 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// tableau holds the dense simplex tableau. Columns: the n structural
+// variables, then slack/surplus variables, then artificial variables.
+// Rows: one per constraint, plus the objective row held separately.
+// Every buffer is grown in place and reused across solves; a tableau
+// lives inside a Workspace and is rebuilt by init from the workspace's
+// equilibrated rows.
+type tableau struct {
+	m, n   int // constraints, structural variables
+	ncols  int // total columns (structural + slack + artificial)
+	nslack int
+	nart   int
+	a      []float64 // m × ncols, row-major
+	b      []float64 // m
+	basis  []int     // column index basic in each row
+	isArt  []bool    // per column
+	art    []int     // column indices of artificial variables
+
+	// idCol[i] is the column that started as row i's identity column
+	// (+1 slack for LE rows, +1 artificial for GE/EQ rows): after
+	// pivoting it holds B⁻¹e_i, from which the simplex multipliers are
+	// read. flip[i] marks rows negated during rhs normalization (their
+	// multiplier changes sign). degenerate is set when phase 1 leaves a
+	// redundant row's artificial basic.
+	idCol      []int
+	flip       []bool
+	degenerate bool
+
+	cost []float64 // active phase's cost vector (phase 2's stays for duals)
+	rc   []float64 // reduced costs, recomputed each iteration
+	y    []float64 // dual multipliers
+}
+
+// init rebuilds the tableau from the workspace's equilibrated rows. It
+// normalizes rhs >= 0 in place (flipping row signs and LE<->GE senses),
+// then lays out the dense matrix with slack and artificial columns and
+// a starting basis of identity columns.
+func (t *tableau) init(ws *Workspace, nvars int) {
+	sm := len(ws.eqSense)
+	t.m, t.n = sm, nvars
+	t.degenerate = false
+	t.nslack, t.nart = 0, 0
+	t.flip = grow(t.flip, sm)
+	for i := 0; i < sm; i++ {
+		t.flip[i] = false
+		if ws.eqRhs[i] < 0 {
+			t.flip[i] = true
+			lo, hi := ws.eqRowStart[i], ws.eqRowStart[i+1]
+			for k := lo; k < hi; k++ {
+				ws.eqCoef[k] = -ws.eqCoef[k]
+			}
+			ws.eqRhs[i] = -ws.eqRhs[i]
+			switch ws.eqSense[i] {
+			case LE:
+				ws.eqSense[i] = GE
+			case GE:
+				ws.eqSense[i] = LE
+			}
+		}
+		if ws.eqSense[i] != EQ {
+			t.nslack++
+		}
+		if ws.eqSense[i] != LE {
+			t.nart++
+		}
+	}
+	t.ncols = nvars + t.nslack + t.nart
+	t.a = growZero(t.a, sm*t.ncols)
+	t.b = grow(t.b, sm)
+	t.basis = grow(t.basis, sm)
+	t.idCol = grow(t.idCol, sm)
+	t.isArt = growZero(t.isArt, t.ncols)
+	t.art = t.art[:0]
+
+	slackAt := nvars
+	artAt := nvars + t.nslack
+	for i := 0; i < sm; i++ {
+		row := t.a[i*t.ncols : (i+1)*t.ncols]
+		lo, hi := ws.eqRowStart[i], ws.eqRowStart[i+1]
+		for k := lo; k < hi; k++ {
+			row[ws.eqIdx[k]] = ws.eqCoef[k]
+		}
+		t.b[i] = ws.eqRhs[i]
+		switch ws.eqSense[i] {
+		case LE:
+			row[slackAt] = 1
+			t.basis[i], t.idCol[i] = slackAt, slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			fallthrough
+		case EQ:
+			row[artAt] = 1
+			t.basis[i], t.idCol[i] = artAt, artAt
+			t.art = append(t.art, artAt)
+			t.isArt[artAt] = true
+			artAt++
+		}
+	}
+}
+
+// pivot performs a pivot on (row, col) using Gauss-Jordan elimination.
+func (t *tableau) pivot(row, col int) {
+	nc := t.ncols
+	pr := t.a[row*nc : (row+1)*nc]
+	inv := 1 / pr[col]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.b[row] *= inv
+	pr[col] = 1 // fight rounding
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		ri := t.a[i*nc : (i+1)*nc]
+		f := ri[col]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// simplexLoop runs the simplex method minimizing the reduced-cost vector
+// derived from cost (one entry per column). When excludeArt is set,
+// artificial columns may not enter the basis (phase 2). Returns
+// ErrUnbounded when no leaving row exists for an improving column.
+func (t *tableau) simplexLoop(cost []float64, excludeArt bool) error {
+	// Reduced costs are recomputed from scratch each iteration via the
+	// basis multipliers; for the problem sizes here (≤ ~3000 columns,
+	// ≤ ~200 rows) this is plenty fast and numerically robust.
+	nc := t.ncols
+	t.rc = grow(t.rc, nc)
+	rc := t.rc
+	maxIter := 50 * (t.m + nc)
+	if maxIter < 10000 {
+		maxIter = 10000
+	}
+	stall := 0
+	prevObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		// y = c_B B^{-1} is implicit: since we keep the full tableau in
+		// canonical form, reduced cost of col j is cost[j] - Σ_i
+		// cost[basis[i]] * a[i][j].
+		copy(rc, cost)
+		for i, bc := range t.basis {
+			cb := cost[bc]
+			if cb == 0 {
+				continue
+			}
+			ri := t.a[i*nc : (i+1)*nc]
+			for j := range rc {
+				rc[j] -= cb * ri[j]
+			}
+		}
+		// Objective value for stall detection.
+		obj := 0.0
+		for i, bc := range t.basis {
+			obj += cost[bc] * t.b[i]
+		}
+		if obj < prevObj-eps {
+			stall = 0
+		} else {
+			stall++
+		}
+		prevObj = obj
+
+		bland := stall > 2*(t.m+2)
+
+		// Entering column.
+		enter := -1
+		best := -epsCost
+		for j := 0; j < nc; j++ {
+			if excludeArt && t.isArt[j] {
+				continue
+			}
+			if rc[j] < -epsCost {
+				if bland {
+					enter = j
+					break
+				}
+				if rc[j] < best {
+					best = rc[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio test. Ties (ubiquitous on degenerate
+		// vertices, where every ratio is zero) are broken by the largest
+		// pivot element — chained pivots on near-zero elements multiply
+		// roundoff until the tableau's reduced costs no longer describe
+		// the real problem and phase 1 misreports feasible instances as
+		// infeasible. Under Bland's rule the smallest basis index wins
+		// instead, preserving the anti-cycling guarantee.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i*nc+enter]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.b[i] / aij
+			switch {
+			case ratio < bestRatio-eps:
+				bestRatio = ratio
+				leave = i
+			case leave >= 0 && ratio < bestRatio+eps:
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+				if bland {
+					if t.basis[i] < t.basis[leave] {
+						leave = i
+					}
+				} else if aij > t.a[leave*nc+enter] {
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+// phase1 drives artificial variables to zero, establishing feasibility.
+func (t *tableau) phase1() error {
+	if t.nart == 0 {
+		return nil
+	}
+	t.cost = growZero(t.cost, t.ncols)
+	cost := t.cost
+	for _, c := range t.art {
+		cost[c] = 1
+	}
+	if err := t.simplexLoop(cost, false); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase 1 objective is bounded below by 0; unbounded here
+			// indicates a numerical breakdown, not a model property.
+			return errors.New("lp: phase 1 reported unbounded (numerical failure)")
+		}
+		return err
+	}
+	// Check artificial objective ~ 0.
+	obj := 0.0
+	for i, bc := range t.basis {
+		obj += cost[bc] * t.b[i]
+	}
+	if obj > 1e-6 {
+		return ErrInfeasible
+	}
+	// Drive any artificial still in the basis (at zero level) out of it.
+	nc := t.ncols
+	for i, bc := range t.basis {
+		if !t.isArt[bc] {
+			continue
+		}
+		pivoted := false
+		ri := t.a[i*nc : (i+1)*nc]
+		for j := 0; j < nc; j++ {
+			if t.isArt[j] {
+				continue
+			}
+			if math.Abs(ri[j]) > 1e-7 {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		// If the row is all zeros over non-artificial columns it is a
+		// redundant constraint; leaving the artificial basic at level 0
+		// is harmless as long as it never re-enters (phase 2 disallows
+		// artificial columns from entering) — but the basis is then
+		// degenerate, which SolveInto surfaces via Status.
+		if !pivoted {
+			t.degenerate = true
+		}
+	}
+	return nil
+}
+
+// phase2 minimizes the true (equilibrated) objective over the feasible
+// region found in phase 1, never letting artificial columns re-enter.
+// obj has one entry per structural variable; slack/artificial columns
+// cost zero. The cost vector stays in t.cost for duals to read.
+func (t *tableau) phase2(obj []float64) error {
+	t.cost = growZero(t.cost, t.ncols)
+	copy(t.cost, obj)
+	return t.simplexLoop(t.cost, true)
+}
+
+// duals reads the phase-2 simplex multipliers y = c_B·B⁻¹ off the final
+// tableau: column idCol[i] started as e_i, so it now holds B⁻¹e_i and
+// y_i = Σ_k cost[basis[k]]·a[k][idCol[i]]. Rows negated during rhs
+// normalization get their multiplier's sign restored. Must run after
+// phase2, whose cost vector is still in t.cost. The returned slice is
+// workspace-owned scratch.
+func (t *tableau) duals() []float64 {
+	t.y = grow(t.y, t.m)
+	nc := t.ncols
+	for i := 0; i < t.m; i++ {
+		v := 0.0
+		col := t.idCol[i]
+		for k, bc := range t.basis {
+			if cb := t.cost[bc]; cb != 0 {
+				v += cb * t.a[k*nc+col]
+			}
+		}
+		if t.flip[i] {
+			v = -v
+		}
+		t.y[i] = v
+	}
+	return t.y
+}
+
+// extract reads off structural variable values from the tableau into x,
+// which must be zeroed and at least t.n long. It deliberately does NOT
+// clamp negative basic values: SolveInto judges the unscaled point
+// against the feasibility tolerance and either zeroes near-zero
+// negatives or rejects the solve with a ResidualError. (An earlier
+// version clamped only values in (−1e-7, 0) here, in scaled space —
+// larger negative residue, amplified by the column unscaling, leaked
+// out as negative task fractions.)
+func (t *tableau) extract(x []float64) {
+	for i, bc := range t.basis {
+		if bc < t.n {
+			x[bc] = t.b[i]
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package place
 
-import "math"
+import (
+	"math"
+
+	"tetrium/internal/lp"
+)
 
 // Iridium is the paper's primary baseline (§6.1b): the low-latency
 // geo-analytics system of Pu et al. (SIGMOD '15 [47]). It processes map
@@ -29,7 +33,9 @@ func (Iridium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 // PlaceReduce solves the shuffle-only LP (the paper's Eq. 6 with only
 // T_shufl in the objective).
 func (i Iridium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
-	return solveReduce(res, req, false, i.Check)
+	ws := lp.AcquireWorkspace()
+	defer lp.ReleaseWorkspace(ws)
+	return solveReduce(res, req, false, i.Check, ws)
 }
 
 // InPlace is the site-locality baseline (§6.1a): default Spark behaviour

@@ -1,0 +1,109 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrium/internal/cluster"
+)
+
+// benchResources returns a deterministic n-site heterogeneous cluster:
+// the EC2 preset at n=8, or a synthetic spread for other sizes.
+func benchResources(n int) Resources {
+	if n == 8 {
+		c := cluster.EC2EightRegions()
+		return Resources{Slots: c.Slots(), UpBW: c.UpBW(), DownBW: c.DownBW()}
+	}
+	rng := rand.New(rand.NewSource(7))
+	res := Resources{
+		Slots:  make([]int, n),
+		UpBW:   make([]float64, n),
+		DownBW: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Slots[i] = 4 + rng.Intn(28)
+		res.UpBW[i] = (0.1 + rng.Float64()) * 1e9
+		res.DownBW[i] = (0.1 + rng.Float64()) * 1e9
+	}
+	return res
+}
+
+func benchMapRequest(n int, rng *rand.Rand) MapRequest {
+	input := make([]float64, n)
+	for i := range input {
+		input[i] = rng.Float64() * 8e9
+	}
+	return MapRequest{
+		InputBySite: input,
+		NumTasks:    40 * n,
+		TaskCompute: 2.5,
+		WANBudget:   -1,
+		OutputBytes: 2e9,
+	}
+}
+
+func benchReduceRequest(n int, rng *rand.Rand) ReduceRequest {
+	inter := make([]float64, n)
+	for i := range inter {
+		inter[i] = rng.Float64() * 4e9
+	}
+	return ReduceRequest{
+		InterBySite: inter,
+		NumTasks:    20 * n,
+		TaskCompute: 4,
+		WANBudget:   -1,
+		OutputBytes: 1e9,
+	}
+}
+
+func BenchmarkPlaceMap(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		res := benchResources(n)
+		req := benchMapRequest(n, rand.New(rand.NewSource(11)))
+		pl := Tetrium{}
+		b.Run(benchName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.PlaceMap(res, req); err != nil {
+					b.Fatalf("PlaceMap: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlaceMapMaxDest(b *testing.B) {
+	n := 24
+	res := benchResources(n)
+	req := benchMapRequest(n, rand.New(rand.NewSource(11)))
+	pl := Tetrium{MaxDest: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlaceMap(res, req); err != nil {
+			b.Fatalf("PlaceMap: %v", err)
+		}
+	}
+}
+
+func BenchmarkPlaceReduce(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		res := benchResources(n)
+		req := benchReduceRequest(n, rand.New(rand.NewSource(13)))
+		pl := Tetrium{}
+		b.Run(benchName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.PlaceReduce(res, req); err != nil {
+					b.Fatalf("PlaceReduce: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	if n < 10 {
+		return "n=0" + string(rune('0'+n))
+	}
+	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,47 @@
+package place
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// placeWorkers bounds the worker group used to solve independent
+// candidate LPs concurrently (destination subsets in PlaceMap,
+// forward-vs-reverse in PlanBoth). Tests set it to 1 to force the
+// sequential path when proving the parallel results are bit-identical.
+var placeWorkers = runtime.GOMAXPROCS(0)
+
+// runParallel invokes f(0..n-1), spreading the calls over a bounded
+// worker group. With one worker (or one item) it degenerates to a plain
+// sequential loop on the calling goroutine. Every call to f must write
+// only its own slot of any shared slice; runParallel's WaitGroup
+// establishes the happens-before edge back to the caller.
+func runParallel(n int, f func(i int)) {
+	w := placeWorkers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sameMapPlacement(a, b MapPlacement) bool {
+	if math.Float64bits(a.TAggr) != math.Float64bits(b.TAggr) ||
+		math.Float64bits(a.TMap) != math.Float64bits(b.TMap) ||
+		len(a.Frac) != len(b.Frac) || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for x := range a.Frac {
+		for y := range a.Frac[x] {
+			if math.Float64bits(a.Frac[x][y]) != math.Float64bits(b.Frac[x][y]) {
+				return false
+			}
+		}
+		for y := range a.Tasks[x] {
+			if a.Tasks[x][y] != b.Tasks[x][y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameReducePlacement(a, b ReducePlacement) bool {
+	if math.Float64bits(a.TShufl) != math.Float64bits(b.TShufl) ||
+		math.Float64bits(a.TRed) != math.Float64bits(b.TRed) ||
+		len(a.Frac) != len(b.Frac) || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for x := range a.Frac {
+		if math.Float64bits(a.Frac[x]) != math.Float64bits(b.Frac[x]) {
+			return false
+		}
+		if a.Tasks[x] != b.Tasks[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequential is the differential test for the
+// bounded worker group: every placement computed with concurrent
+// candidate solves must be bit-identical to the single-worker
+// sequential path.
+func TestParallelMatchesSequential(t *testing.T) {
+	old := placeWorkers
+	defer func() { placeWorkers = old }()
+
+	for _, n := range []int{8, 24} {
+		res := benchResources(n)
+		mreq := benchMapRequest(n, rand.New(rand.NewSource(5)))
+		rreq := benchReduceRequest(n, rand.New(rand.NewSource(6)))
+		pl := Tetrium{MaxDest: 4}
+
+		placeWorkers = 1
+		seqM, err1 := pl.PlaceMap(res, mreq)
+		seqFwd, seqRev, err2 := pl.PlanBoth(res, mreq, rreq.NumTasks, rreq.TaskCompute, 0.5)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("n=%d sequential: %v / %v", n, err1, err2)
+		}
+
+		placeWorkers = 8
+		parM, err1 := pl.PlaceMap(res, mreq)
+		parFwd, parRev, err2 := pl.PlanBoth(res, mreq, rreq.NumTasks, rreq.TaskCompute, 0.5)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("n=%d parallel: %v / %v", n, err1, err2)
+		}
+
+		if !sameMapPlacement(seqM, parM) {
+			t.Errorf("n=%d: PlaceMap parallel result differs from sequential", n)
+		}
+		if !sameMapPlacement(seqFwd.Map, parFwd.Map) || !sameReducePlacement(seqFwd.Reduce, parFwd.Reduce) ||
+			math.Float64bits(seqFwd.Est) != math.Float64bits(parFwd.Est) {
+			t.Errorf("n=%d: PlanBoth forward plan differs between parallel and sequential", n)
+		}
+		if !sameMapPlacement(seqRev.Map, parRev.Map) || !sameReducePlacement(seqRev.Reduce, parRev.Reduce) ||
+			math.Float64bits(seqRev.Est) != math.Float64bits(parRev.Est) {
+			t.Errorf("n=%d: PlanBoth reverse plan differs between parallel and sequential", n)
+		}
+	}
+}
+
+// TestPlaceMapDeterministic re-runs PlaceMap on identical inputs and
+// requires bit-identical placements — the end-to-end counterpart of the
+// lp package's determinism regression test.
+func TestPlaceMapDeterministic(t *testing.T) {
+	res := benchResources(8)
+	req := benchMapRequest(8, rand.New(rand.NewSource(9)))
+	ref, err := Tetrium{}.PlaceMap(res, req)
+	if err != nil {
+		t.Fatalf("PlaceMap: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := Tetrium{}.PlaceMap(res, req)
+		if err != nil {
+			t.Fatalf("PlaceMap: %v", err)
+		}
+		if !sameMapPlacement(ref, got) {
+			t.Fatalf("run %d: PlaceMap produced different bits on identical input", i)
+		}
+	}
+}

@@ -233,12 +233,30 @@ const (
 	ReduceBudget
 )
 
+// remEntry is apportionInto's largest-remainder bookkeeping.
+type remEntry struct {
+	idx  int
+	frac float64
+}
+
 // apportion rounds fractional shares (not necessarily normalized) to
 // integers summing to total, by largest remainder.
 func apportion(frac []float64, total int) []int {
 	counts := make([]int, len(frac))
+	apportionInto(counts, make([]remEntry, len(frac)), frac, total)
+	return counts
+}
+
+// apportionInto is apportion writing into counts, with rems as scratch;
+// both must have len(frac). The refine loops evaluate several rounding
+// candidates per placement, so they reuse these buffers across
+// candidates instead of allocating per evaluation.
+func apportionInto(counts []int, rems []remEntry, frac []float64, total int) {
+	for i := range counts {
+		counts[i] = 0
+	}
 	if total == 0 {
-		return counts
+		return
 	}
 	sum := 0.0
 	for _, f := range frac {
@@ -248,13 +266,8 @@ func apportion(frac []float64, total int) []int {
 	}
 	if sum == 0 {
 		counts[0] = total
-		return counts
+		return
 	}
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, len(frac))
 	assigned := 0
 	for i, f := range frac {
 		if f < 0 {
@@ -263,7 +276,7 @@ func apportion(frac []float64, total int) []int {
 		exact := f / sum * float64(total)
 		counts[i] = int(exact)
 		assigned += counts[i]
-		rems[i] = rem{i, exact - float64(counts[i])}
+		rems[i] = remEntry{i, exact - float64(counts[i])}
 	}
 	for i := 1; i < len(rems); i++ {
 		for j := i; j > 0 && rems[j].frac > rems[j-1].frac; j-- {
@@ -274,26 +287,88 @@ func apportion(frac []float64, total int) []int {
 		counts[rems[k%len(rems)].idx]++
 		assigned++
 	}
-	return counts
 }
 
 // apportionMatrix rounds a fraction matrix to integer counts that
 // preserve row totals: row x receives round(share of total) tasks, then
 // each row is apportioned across columns.
 func apportionMatrix(frac [][]float64, total int) [][]int {
-	n := len(frac)
-	rowSums := make([]float64, n)
+	out := newIntMatrix(len(frac))
+	s := newApportionScratch(len(frac))
+	s.matrixInto(out, frac, total)
+	return out
+}
+
+// apportionScratch bundles the reusable buffers of apportionInto and
+// its matrix variant.
+type apportionScratch struct {
+	rowSums   []float64
+	rowCounts []int
+	rems      []remEntry
+}
+
+func newApportionScratch(n int) *apportionScratch {
+	return &apportionScratch{
+		rowSums:   make([]float64, n),
+		rowCounts: make([]int, n),
+		rems:      make([]remEntry, n),
+	}
+}
+
+// matrixInto is apportionMatrix writing into out (an n×n matrix).
+func (s *apportionScratch) matrixInto(out [][]int, frac [][]float64, total int) {
 	for x := range frac {
+		s.rowSums[x] = 0
 		for _, f := range frac[x] {
-			rowSums[x] += f
+			s.rowSums[x] += f
 		}
 	}
-	rowCounts := apportion(rowSums, total)
-	out := make([][]int, n)
+	apportionInto(s.rowCounts, s.rems, s.rowSums, total)
 	for x := range frac {
-		out[x] = apportion(frac[x], rowCounts[x])
+		apportionInto(out[x], s.rems, frac[x], s.rowCounts[x])
 	}
-	return out
+}
+
+// newMatrix allocates an n×n float matrix backed by one flat slice.
+func newMatrix(n int) [][]float64 {
+	back := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
+// newIntMatrix allocates an n×n int matrix backed by one flat slice.
+func newIntMatrix(n int) [][]int {
+	back := make([]int, n*n)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
+// copyMatrixInto copies src into dst, allocating dst when nil.
+func copyMatrixInto(dst, src [][]float64) [][]float64 {
+	if dst == nil {
+		dst = newMatrix(len(src))
+	}
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+	return dst
+}
+
+// copyIntMatrixInto copies src into dst, allocating dst when nil.
+func copyIntMatrixInto(dst, src [][]int) [][]int {
+	if dst == nil {
+		dst = newIntMatrix(len(src))
+	}
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+	return dst
 }
 
 // uniformOverSlots spreads fractions across sites proportionally to

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,13 +10,15 @@ import (
 )
 
 // solveLP is the single choke point for every LP solve in this package.
-// With certify set it validates the returned solution against the
-// problem via the internal/check certifier (primal residuals,
-// non-negativity, optimality bound) and converts a failed certificate
-// into an error, so callers in debug/check mode surface numerical
-// breakdowns instead of silently using a bad placement.
-func solveLP(prob *lp.Problem, certify bool) (*lp.Solution, error) {
-	sol, err := prob.Solve()
+// Every solve goes through the caller's workspace, so the simplex
+// scratch buffers are reused across the several LPs one placement
+// decision issues. With certify set it validates the returned solution
+// against the problem via the internal/check certifier (primal
+// residuals, non-negativity, optimality bound) and converts a failed
+// certificate into an error, so callers in debug/check mode surface
+// numerical breakdowns instead of silently using a bad placement.
+func solveLP(prob *lp.Problem, ws *lp.Workspace, certify bool) (*lp.Solution, error) {
+	sol, err := prob.SolveInto(ws)
 	if err != nil || !certify {
 		return sol, err
 	}
@@ -23,6 +26,35 @@ func solveLP(prob *lp.Problem, certify bool) (*lp.Solution, error) {
 		return nil, fmt.Errorf("place: LP certificate failed: %w", cerr)
 	}
 	return sol, nil
+}
+
+// rowBuf stages one constraint row for lp.Problem.AddRow, replacing the
+// per-row map[lp.Var]float64 builds: two slices reused for every row of
+// a problem, so row construction stops being the dominant allocation
+// cost of a placement decision.
+type rowBuf struct {
+	vs []lp.Var
+	cs []float64
+}
+
+func (r *rowBuf) add(v lp.Var, c float64) {
+	r.vs = append(r.vs, v)
+	r.cs = append(r.cs, c)
+}
+
+func (r *rowBuf) len() int { return len(r.vs) }
+
+// commit adds the staged row to prob and resets the buffer.
+func (r *rowBuf) commit(prob *lp.Problem, sense lp.Sense, rhs float64) {
+	prob.AddRow(r.vs, r.cs, sense, rhs)
+	r.vs = r.vs[:0]
+	r.cs = r.cs[:0]
+}
+
+// discard drops the staged row without adding it.
+func (r *rowBuf) discard() {
+	r.vs = r.vs[:0]
+	r.cs = r.cs[:0]
 }
 
 // normalizeMapFracs repairs an LP fraction matrix after negative residue
@@ -138,7 +170,51 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		return finishMap(res, req, m, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
 	}
 
-	destOK := t.candidateDests(res)
+	destSets := t.candidateDestSets(res)
+	if len(destSets) == 1 {
+		ws := lp.AcquireWorkspace()
+		defer lp.ReleaseWorkspace(ws)
+		return t.solveMap(res, req, destSets[0], ws)
+	}
+	// Independent candidate destination subsets: solve one LP per subset
+	// concurrently and keep the placement with the best integral-wave
+	// estimate. Selection is by estimate then lowest subset index, so the
+	// result is identical whether the solves ran in parallel or not.
+	results := make([]MapPlacement, len(destSets))
+	errs := make([]error, len(destSets))
+	runParallel(len(destSets), func(i int) {
+		ws := lp.AcquireWorkspace()
+		defer lp.ReleaseWorkspace(ws)
+		results[i], errs[i] = t.solveMap(res, req, destSets[i], ws)
+	})
+	bestIdx := -1
+	bestEst := math.Inf(1)
+	for i, mp := range results {
+		if errs[i] != nil {
+			// A restricted candidate subset can be legitimately
+			// infeasible (e.g. a data-holding zero-slot site with no
+			// slotted destination in the subset); only certification
+			// failures are real errors under Check.
+			if t.Check && !errors.Is(errs[i], lp.ErrInfeasible) {
+				return MapPlacement{}, errs[i]
+			}
+			continue
+		}
+		if est := mp.TAggr + mp.TMap + mapDrainCost(res, req, mp.Tasks); est < bestEst {
+			bestEst, bestIdx = est, i
+		}
+	}
+	if bestIdx < 0 {
+		return fallbackMap(res, req), nil
+	}
+	return results[bestIdx], nil
+}
+
+// solveMap builds and solves the §3.1 map LP restricted to the given
+// candidate destination set, returning the refined placement.
+func (t Tetrium) solveMap(res Resources, req MapRequest, destOK []bool, ws *lp.Workspace) (MapPlacement, error) {
+	n := res.N()
+	total := req.TotalInput()
 	hasData := make([]bool, n)
 	for x := 0; x < n; x++ {
 		hasData[x] = req.InputBySite[x] > 0
@@ -147,76 +223,82 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		return hasData[x] && (destOK[y] || y == x)
 	}
 
-	prob := lp.NewProblem()
+	prob := lp.AcquireProblem()
+	defer lp.ReleaseProblem(prob)
 	tAggr := prob.AddVar("Taggr", 1)
 	tMap := prob.AddVar("Tmap", 1)
 
 	// m[x][y] exists only when site x holds data and y is a candidate
 	// destination — this shrinks the LP substantially at 50-site scale.
+	mvBack := make([]lp.Var, n*n)
 	mv := make([][]lp.Var, n)
 	for x := 0; x < n; x++ {
 		if !hasData[x] {
 			continue
 		}
-		mv[x] = make([]lp.Var, n)
+		mv[x] = mvBack[x*n : (x+1)*n]
 		for y := 0; y < n; y++ {
 			mv[x][y] = -1
 			if exists(x, y) {
-				mv[x][y] = prob.AddVar(fmt.Sprintf("m_%d_%d", x, y), 0)
+				mv[x][y] = prob.AddVar("", 0)
 			}
 		}
 	}
 
+	var row rowBuf
 	// Eq. 2: upload at each data-holding site.
 	for x := 0; x < n; x++ {
 		if !hasData[x] {
 			continue
 		}
-		row := map[lp.Var]float64{tAggr: -res.UpBW[x]}
+		row.add(tAggr, -res.UpBW[x])
 		for y := 0; y < n; y++ {
 			if y != x && exists(x, y) {
-				row[mv[x][y]] = total
+				row.add(mv[x][y], total)
 			}
 		}
-		prob.AddConstraint(row, lp.LE, 0)
+		row.commit(prob, lp.LE, 0)
 	}
 	// Eq. 3: download at each potential destination.
 	for y := 0; y < n; y++ {
-		row := map[lp.Var]float64{tAggr: -res.DownBW[y]}
+		row.add(tAggr, -res.DownBW[y])
 		any := false
 		for x := 0; x < n; x++ {
 			if x != y && exists(x, y) {
-				row[mv[x][y]] = total
+				row.add(mv[x][y], total)
 				any = true
 			}
 		}
 		if any {
-			prob.AddConstraint(row, lp.LE, 0)
+			row.commit(prob, lp.LE, 0)
+		} else {
+			row.discard()
 		}
 	}
 	// Eq. 4: computation (multi-wave, fractional) at each destination.
 	for y := 0; y < n; y++ {
-		row := map[lp.Var]float64{tMap: -1}
+		row.add(tMap, -1)
 		any := false
 		for x := 0; x < n; x++ {
 			if exists(x, y) {
-				row[mv[x][y]] = req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[y])
+				row.add(mv[x][y], req.TaskCompute*float64(req.NumTasks)/slotCap(res.Slots[y]))
 				any = true
 			}
 		}
 		if any {
-			prob.AddConstraint(row, lp.LE, 0)
+			row.commit(prob, lp.LE, 0)
+		} else {
+			row.discard()
 		}
 		if res.Slots[y] == 0 {
 			// No slots: forbid placement here outright.
-			zero := map[lp.Var]float64{}
 			for x := 0; x < n; x++ {
 				if exists(x, y) {
-					zero[mv[x][y]] = 1
+					row.add(mv[x][y], 1)
 				}
 			}
-			if len(zero) > 0 {
-				prob.AddConstraint(zero, lp.EQ, 0)
+			if row.len() > 0 {
+				row.commit(prob, lp.EQ, 0)
 			}
 		}
 	}
@@ -225,30 +307,28 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		if !hasData[x] {
 			continue
 		}
-		row := map[lp.Var]float64{}
 		for y := 0; y < n; y++ {
 			if exists(x, y) {
-				row[mv[x][y]] = 1
+				row.add(mv[x][y], 1)
 			}
 		}
-		prob.AddConstraint(row, lp.EQ, req.InputBySite[x]/total)
+		row.commit(prob, lp.EQ, req.InputBySite[x]/total)
 	}
 	// WAN budget (§4.3).
 	if req.WANBudget >= 0 {
-		row := map[lp.Var]float64{}
 		for x := 0; x < n; x++ {
 			for y := 0; y < n; y++ {
 				if y != x && exists(x, y) {
-					row[mv[x][y]] = total
+					row.add(mv[x][y], total)
 				}
 			}
 		}
-		if len(row) > 0 {
-			prob.AddConstraint(row, lp.LE, req.WANBudget)
+		if row.len() > 0 {
+			row.commit(prob, lp.LE, req.WANBudget)
 		}
 	}
 
-	sol, err := solveLP(prob, t.Check)
+	sol, err := solveLP(prob, ws, t.Check)
 	if err != nil {
 		if t.Check {
 			return MapPlacement{}, err
@@ -257,9 +337,8 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 		// every data site has slots); otherwise spread over slots.
 		return fallbackMap(res, req), nil
 	}
-	m := make([][]float64, n)
+	m := newMatrix(n)
 	for x := range m {
-		m[x] = make([]float64, n)
 		if !hasData[x] {
 			continue
 		}
@@ -286,12 +365,19 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 // best, so the returned estimate is also the sharper ceil-based one.
 func refineMap(res Resources, req MapRequest, lpFrac [][]float64) MapPlacement {
 	n := res.N()
+	// One scratch candidate (matrix + rounding) reused across the α
+	// sweep; a candidate's buffers are cloned only when it becomes the
+	// running best, so the sweep costs O(1) allocations instead of
+	// O(candidates·n).
+	m := newMatrix(n)
+	tasks := newIntMatrix(n)
+	scratch := newApportionScratch(n)
+	var bestM [][]float64
+	var bestTasks [][]int
 	best := MapPlacement{}
 	bestEst := math.Inf(1)
 	for _, alpha := range []float64{1, 0.75, 0.5, 0.25, 0} {
-		m := make([][]float64, n)
 		for x := 0; x < n; x++ {
-			m[x] = make([]float64, n)
 			moved := 0.0
 			for y := 0; y < n; y++ {
 				if y == x {
@@ -303,7 +389,7 @@ func refineMap(res Resources, req MapRequest, lpFrac [][]float64) MapPlacement {
 			}
 			m[x][x] = lpFrac[x][x] + moved
 		}
-		tasks := apportionMatrix(m, req.NumTasks)
+		scratch.matrixInto(tasks, m, req.NumTasks)
 		// Zero-slot sites cannot absorb returned tasks; the LP already
 		// forbids them as destinations, and the diagonal return target
 		// may be slotless — skip such candidates.
@@ -319,7 +405,9 @@ func refineMap(res Resources, req MapRequest, lpFrac [][]float64) MapPlacement {
 		}
 		if est := tAggr + tMap + mapDrainCost(res, req, tasks); est < bestEst {
 			bestEst = est
-			best = MapPlacement{Frac: m, Tasks: tasks, TAggr: tAggr, TMap: tMap}
+			bestM = copyMatrixInto(bestM, m)
+			bestTasks = copyIntMatrixInto(bestTasks, tasks)
+			best = MapPlacement{Frac: bestM, Tasks: bestTasks, TAggr: tAggr, TMap: tMap}
 		}
 	}
 	if math.IsInf(bestEst, 1) {
@@ -415,46 +503,70 @@ func ceilMapTimes(res Resources, req MapRequest, tasks [][]int) (tAggr, tMap flo
 	return tAggr, tMap
 }
 
-// candidateDests marks the sites considered as map-task destinations:
-// all of them by default, or — when MaxDest is set — the slot-richest
-// MaxDest sites plus the MaxDest/2 with the fattest downlinks (every
-// partition may additionally stay home; see exists()).
-func (t Tetrium) candidateDests(res Resources) []bool {
+// candidateDestSets returns the destination subsets PlaceMap solves
+// over: everything when MaxDest is unset, otherwise two complementary
+// biased subsets — one favouring slot-rich sites, one favouring
+// fat-downlink sites — solved as independent LPs (concurrently when
+// workers are available) with the better integral-wave estimate kept.
+// Work never benefits from moving to a slot- and bandwidth-poor site,
+// so the dropped columns are (near-)always zero in the unrestricted
+// optimum; trying both biases recovers most of what a single truncated
+// subset can miss.
+func (t Tetrium) candidateDestSets(res Resources) [][]bool {
 	n := res.N()
-	ok := make([]bool, n)
 	if t.MaxDest <= 0 || t.MaxDest >= n {
+		ok := make([]bool, n)
 		for i := range ok {
 			ok[i] = true
 		}
-		return ok
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+		return [][]bool{ok}
 	}
 	bySlots := make([]int, n)
-	copy(bySlots, idx)
+	byDown := make([]int, n)
+	for i := 0; i < n; i++ {
+		bySlots[i], byDown[i] = i, i
+	}
 	sortBy(bySlots, func(a, b int) bool {
 		if res.Slots[a] != res.Slots[b] {
 			return res.Slots[a] > res.Slots[b]
 		}
 		return a < b
 	})
-	for i := 0; i < t.MaxDest && i < n; i++ {
-		ok[bySlots[i]] = true
-	}
-	byDown := make([]int, n)
-	copy(byDown, idx)
 	sortBy(byDown, func(a, b int) bool {
+		// Zero-slot sites can never host tasks, so they rank last no
+		// matter their downlink — otherwise a candidate set could be
+		// all slotless and trivially infeasible.
+		if za, zb := res.Slots[a] == 0, res.Slots[b] == 0; za != zb {
+			return zb
+		}
 		if res.DownBW[a] != res.DownBW[b] {
 			return res.DownBW[a] > res.DownBW[b]
 		}
 		return a < b
 	})
-	for i := 0; i < t.MaxDest/2 && i < n; i++ {
-		ok[byDown[i]] = true
+	pick := func(primary, secondary []int, np, ns int) []bool {
+		ok := make([]bool, n)
+		for i := 0; i < np && i < n; i++ {
+			ok[primary[i]] = true
+		}
+		for i := 0; i < ns && i < n; i++ {
+			ok[secondary[i]] = true
+		}
+		return ok
 	}
-	return ok
+	slotBiased := pick(bySlots, byDown, t.MaxDest, t.MaxDest/2)
+	downBiased := pick(byDown, bySlots, t.MaxDest, t.MaxDest/2)
+	same := true
+	for i := range slotBiased {
+		if slotBiased[i] != downBiased[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return [][]bool{slotBiased}
+	}
+	return [][]bool{slotBiased, downBiased}
 }
 
 // sortBy is an insertion sort over idx with a custom less, avoiding a
@@ -476,14 +588,16 @@ func sortBy(idx []int, less func(a, b int) bool) {
 //	     Σ_x r_x = 1, r ≥ 0                          (Eq. 10)
 //	     Σ_x I_x·(1−r_x) ≤ W                         (§4.3)
 func (t Tetrium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
-	return solveReduce(res, req, true, t.Check)
+	ws := lp.AcquireWorkspace()
+	defer lp.ReleaseWorkspace(ws)
+	return solveReduce(res, req, true, t.Check, ws)
 }
 
 // solveReduce implements both Tetrium's reduce LP and — with
 // includeCompute=false — Iridium's shuffle-only variant (§3.2: "The key
 // difference is that we extend the model to jointly minimize the time
 // spent in network transfer and in computation").
-func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool) (ReducePlacement, error) {
+func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool, ws *lp.Workspace) (ReducePlacement, error) {
 	if err := res.validate(); err != nil {
 		return ReducePlacement{}, err
 	}
@@ -500,7 +614,8 @@ func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool)
 		return finishReduce(res, req, frac, 0, computeTime(req.TaskCompute, req.NumTasks, frac, res.Slots)), nil
 	}
 
-	prob := lp.NewProblem()
+	prob := lp.AcquireProblem()
+	defer lp.ReleaseProblem(prob)
 	tShufl := prob.AddVar("Tshufl", 1)
 	var tRed lp.Var
 	if includeCompute {
@@ -508,54 +623,51 @@ func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool)
 	}
 	rv := make([]lp.Var, n)
 	for x := 0; x < n; x++ {
-		rv[x] = prob.AddVar(fmt.Sprintf("r_%d", x), 0)
+		rv[x] = prob.AddVar("", 0)
 	}
 
+	var row rowBuf
 	for x := 0; x < n; x++ {
 		// Eq. 7 upload: I_x − I_x·r_x ≤ T_shufl·B_up_x.
 		if req.InterBySite[x] > 0 {
-			prob.AddConstraint(map[lp.Var]float64{
-				rv[x]:  -req.InterBySite[x],
-				tShufl: -res.UpBW[x],
-			}, lp.LE, -req.InterBySite[x])
+			row.add(rv[x], -req.InterBySite[x])
+			row.add(tShufl, -res.UpBW[x])
+			row.commit(prob, lp.LE, -req.InterBySite[x])
 		}
 		// Eq. 8 download.
 		others := total - req.InterBySite[x]
 		if others > 0 {
-			prob.AddConstraint(map[lp.Var]float64{
-				rv[x]:  others,
-				tShufl: -res.DownBW[x],
-			}, lp.LE, 0)
+			row.add(rv[x], others)
+			row.add(tShufl, -res.DownBW[x])
+			row.commit(prob, lp.LE, 0)
 		}
 		// Eq. 9 computation.
 		if includeCompute {
-			prob.AddConstraint(map[lp.Var]float64{
-				rv[x]: req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[x]),
-				tRed:  -1,
-			}, lp.LE, 0)
+			row.add(rv[x], req.TaskCompute*float64(req.NumTasks)/slotCap(res.Slots[x]))
+			row.add(tRed, -1)
+			row.commit(prob, lp.LE, 0)
 		}
 		if res.Slots[x] == 0 {
-			prob.AddConstraint(map[lp.Var]float64{rv[x]: 1}, lp.EQ, 0)
+			row.add(rv[x], 1)
+			row.commit(prob, lp.EQ, 0)
 		}
 	}
 	// Eq. 10.
-	sum := map[lp.Var]float64{}
 	for x := 0; x < n; x++ {
-		sum[rv[x]] = 1
+		row.add(rv[x], 1)
 	}
-	prob.AddConstraint(sum, lp.EQ, 1)
+	row.commit(prob, lp.EQ, 1)
 	// WAN budget: Σ I_x(1−r_x) ≤ W  ⇔  −Σ I_x·r_x ≤ W − ΣI.
 	if req.WANBudget >= 0 {
-		row := map[lp.Var]float64{}
 		for x := 0; x < n; x++ {
 			if req.InterBySite[x] > 0 {
-				row[rv[x]] = -req.InterBySite[x]
+				row.add(rv[x], -req.InterBySite[x])
 			}
 		}
-		prob.AddConstraint(row, lp.LE, req.WANBudget-total)
+		row.commit(prob, lp.LE, req.WANBudget-total)
 	}
 
-	sol, err := solveLP(prob, certify)
+	sol, err := solveLP(prob, ws, certify)
 	if err != nil {
 		if certify {
 			return ReducePlacement{}, err
@@ -608,22 +720,31 @@ func refineReduce(res Resources, req ReduceRequest, lpFrac []float64) ReducePlac
 			upProp[x] /= upTotal
 		}
 	}
-	candidates := make([][]float64, 0, 6)
-	for _, alpha := range []float64{1, 0.75, 0.5, 0.25, 0} {
-		frac := make([]float64, n)
-		for x := 0; x < n; x++ {
-			frac[x] = alpha*lpFrac[x] + (1-alpha)*prop[x]
-		}
-		candidates = append(candidates, frac)
-	}
+	alphas := [...]float64{1, 0.75, 0.5, 0.25, 0}
+	nCand := len(alphas)
 	if upTotal > 0 && req.OutputBytes > 0 {
-		candidates = append(candidates, upProp)
+		nCand++
 	}
 
+	// Scratch candidate reused across the sweep, cloned only on a new
+	// best (same O(1)-allocation scheme as refineMap).
+	frac := make([]float64, n)
+	tasks := make([]int, n)
+	rems := make([]remEntry, n)
+	var bestFrac []float64
+	var bestTasks []int
 	best := ReducePlacement{}
 	bestEst := math.Inf(1)
-	for ci, frac := range candidates {
-		tasks := apportion(frac, req.NumTasks)
+	for ci := 0; ci < nCand; ci++ {
+		if ci < len(alphas) {
+			alpha := alphas[ci]
+			for x := 0; x < n; x++ {
+				frac[x] = alpha*lpFrac[x] + (1-alpha)*prop[x]
+			}
+		} else {
+			copy(frac, upProp)
+		}
+		apportionInto(tasks, rems, frac, req.NumTasks)
 		if ci > 0 { // the raw LP already honours zero-slot constraints
 			bad := false
 			for x, c := range tasks {
@@ -645,7 +766,13 @@ func refineReduce(res Resources, req ReduceRequest, lpFrac []float64) ReducePlac
 		}
 		if est := tShufl + tRed + reduceDrainCost(res, req, tasks); est < bestEst {
 			bestEst = est
-			best = ReducePlacement{Frac: frac, Tasks: tasks, TShufl: tShufl, TRed: tRed}
+			if bestFrac == nil {
+				bestFrac = make([]float64, n)
+				bestTasks = make([]int, n)
+			}
+			copy(bestFrac, frac)
+			copy(bestTasks, tasks)
+			best = ReducePlacement{Frac: bestFrac, Tasks: bestTasks, TShufl: tShufl, TRed: tRed}
 		}
 	}
 	if math.IsInf(bestEst, 1) {
@@ -696,6 +823,9 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 	if err := res.validate(); err != nil {
 		return MapPlacement{}, ReducePlacement{}, err
 	}
+	ws := lp.AcquireWorkspace()
+	defer lp.ReleaseWorkspace(ws)
+
 	// (i) r_x = S_x / Σ S.
 	rFrac := uniformOverSlots(res.Slots)
 
@@ -705,29 +835,38 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 	//   down_x: D·(1−d_x)·r_x ≤ T·B_down_x
 	// where D is total intermediate volume (= map input × ratio).
 	totalInter := mapReq.TotalInput() * outputRatio
-	prob := lp.NewProblem()
-	T := prob.AddVar("T", 1)
-	dv := make([]lp.Var, n)
-	for x := 0; x < n; x++ {
-		dv[x] = prob.AddVar(fmt.Sprintf("d_%d", x), 0)
-	}
-	for x := 0; x < n; x++ {
-		prob.AddConstraint(map[lp.Var]float64{
-			dv[x]: totalInter * (1 - rFrac[x]),
-			T:     -res.UpBW[x],
-		}, lp.LE, 0)
-		// down: D·r_x − D·d_x·r_x ≤ T·B_down.
-		prob.AddConstraint(map[lp.Var]float64{
-			dv[x]: -totalInter * rFrac[x],
-			T:     -res.DownBW[x],
-		}, lp.LE, -totalInter*rFrac[x])
-	}
-	sumRow := map[lp.Var]float64{}
-	for x := 0; x < n; x++ {
-		sumRow[dv[x]] = 1
-	}
-	prob.AddConstraint(sumRow, lp.EQ, 1)
-	sol, err := solveLP(prob, t.Check)
+	desired := make([]float64, n)
+	err := func() error {
+		prob := lp.AcquireProblem()
+		defer lp.ReleaseProblem(prob)
+		T := prob.AddVar("T", 1)
+		dv := make([]lp.Var, n)
+		for x := 0; x < n; x++ {
+			dv[x] = prob.AddVar("", 0)
+		}
+		var row rowBuf
+		for x := 0; x < n; x++ {
+			row.add(dv[x], totalInter*(1-rFrac[x]))
+			row.add(T, -res.UpBW[x])
+			row.commit(prob, lp.LE, 0)
+			// down: D·r_x − D·d_x·r_x ≤ T·B_down.
+			row.add(dv[x], -totalInter*rFrac[x])
+			row.add(T, -res.DownBW[x])
+			row.commit(prob, lp.LE, -totalInter*rFrac[x])
+		}
+		for x := 0; x < n; x++ {
+			row.add(dv[x], 1)
+		}
+		row.commit(prob, lp.EQ, 1)
+		sol, err := solveLP(prob, ws, t.Check)
+		if err != nil {
+			return err
+		}
+		for x := 0; x < n; x++ {
+			desired[x] = sol.Value(dv[x])
+		}
+		return nil
+	}()
 	if err != nil {
 		// Degenerate; fall back to forward planning only.
 		mp, e1 := t.PlaceMap(res, mapReq)
@@ -740,22 +879,18 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 		})
 		return mp, rp, e2
 	}
-	desired := make([]float64, n)
-	for x := 0; x < n; x++ {
-		desired[x] = sol.Value(dv[x])
-	}
 
 	// (iii) map LP with destination-share constraints Σ_x m_{x,y} = d_y.
-	mp, err := placeMapWithDestShares(res, mapReq, desired, t.Check)
+	mp, err := placeMapWithDestShares(res, mapReq, desired, t.Check, ws)
 	if err != nil {
 		return MapPlacement{}, ReducePlacement{}, err
 	}
-	rp, err := t.PlaceReduce(res, ReduceRequest{
+	rp, err := solveReduce(res, ReduceRequest{
 		InterBySite: interFromMap(mp, mapReq),
 		NumTasks:    redTasks,
 		TaskCompute: redTaskCompute,
 		WANBudget:   -1,
-	})
+	}, true, t.Check, ws)
 	return mp, rp, err
 }
 
@@ -776,50 +911,59 @@ func interFromMap(mp MapPlacement, req MapRequest) []float64 {
 
 // placeMapWithDestShares is the §3.4 step (iii) map LP: standard §3.1
 // constraints plus Σ_x m_{x,y} = share_y.
-func placeMapWithDestShares(res Resources, req MapRequest, share []float64, certify bool) (MapPlacement, error) {
+func placeMapWithDestShares(res Resources, req MapRequest, share []float64, certify bool, ws *lp.Workspace) (MapPlacement, error) {
 	n := res.N()
 	total := req.TotalInput()
 	if total <= 0 {
 		return Tetrium{Check: certify}.PlaceMap(res, req)
 	}
-	prob := lp.NewProblem()
+	prob := lp.AcquireProblem()
+	defer lp.ReleaseProblem(prob)
 	tAggr := prob.AddVar("Taggr", 1)
 	tMap := prob.AddVar("Tmap", 1)
 	mv := make([][]lp.Var, n)
 	for x := 0; x < n; x++ {
 		mv[x] = make([]lp.Var, n)
 		for y := 0; y < n; y++ {
-			mv[x][y] = prob.AddVar("m", 0)
+			mv[x][y] = prob.AddVar("", 0)
 		}
 	}
+	var row rowBuf
 	for x := 0; x < n; x++ {
-		rowUp := map[lp.Var]float64{tAggr: -res.UpBW[x]}
-		rowDown := map[lp.Var]float64{tAggr: -res.DownBW[x]}
-		rowComp := map[lp.Var]float64{tMap: -1}
+		// Upload.
+		row.add(tAggr, -res.UpBW[x])
 		for y := 0; y < n; y++ {
 			if y != x {
-				rowUp[mv[x][y]] = total
-				rowDown[mv[y][x]] = total
+				row.add(mv[x][y], total)
 			}
-			rowComp[mv[y][x]] = req.TaskCompute * float64(req.NumTasks) / slotCap(res.Slots[x])
 		}
-		prob.AddConstraint(rowUp, lp.LE, 0)
-		prob.AddConstraint(rowDown, lp.LE, 0)
-		prob.AddConstraint(rowComp, lp.LE, 0)
+		row.commit(prob, lp.LE, 0)
+		// Download.
+		row.add(tAggr, -res.DownBW[x])
+		for y := 0; y < n; y++ {
+			if y != x {
+				row.add(mv[y][x], total)
+			}
+		}
+		row.commit(prob, lp.LE, 0)
+		// Computation.
+		row.add(tMap, -1)
+		for y := 0; y < n; y++ {
+			row.add(mv[y][x], req.TaskCompute*float64(req.NumTasks)/slotCap(res.Slots[x]))
+		}
+		row.commit(prob, lp.LE, 0)
 		// Conservation.
-		cons := map[lp.Var]float64{}
 		for y := 0; y < n; y++ {
-			cons[mv[x][y]] = 1
+			row.add(mv[x][y], 1)
 		}
-		prob.AddConstraint(cons, lp.EQ, req.InputBySite[x]/total)
+		row.commit(prob, lp.EQ, req.InputBySite[x]/total)
 		// Destination share.
-		dst := map[lp.Var]float64{}
 		for y := 0; y < n; y++ {
-			dst[mv[y][x]] = 1
+			row.add(mv[y][x], 1)
 		}
-		prob.AddConstraint(dst, lp.EQ, share[x])
+		row.commit(prob, lp.EQ, share[x])
 	}
-	sol, err := solveLP(prob, certify)
+	sol, err := solveLP(prob, ws, certify)
 	if err != nil {
 		if certify {
 			return MapPlacement{}, err

@@ -59,6 +59,12 @@ type EngineOptions struct {
 	// EventCap bounds the /debug/events buffer; 0 means the engine
 	// default (65536).
 	EventCap int
+	// SolveWorkers sizes the off-loop placement solver pool; 0 means
+	// GOMAXPROCS.
+	SolveWorkers int
+	// PlaceCacheSize bounds the placement memo cache in entries; 0 means
+	// the engine default (4096), negative disables caching.
+	PlaceCacheSize int
 
 	// Check runs every LP solve under the certification layer.
 	Check bool
@@ -91,15 +97,17 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		scale = 0
 	}
 	return engine.New(engine.Config{
-		Cluster:    o.Cluster,
-		Placer:     placer,
-		Policy:     policy,
-		Rho:        rho,
-		Eps:        eps,
-		UpdateK:    o.UpdateK,
-		MaxPending: o.MaxPending,
-		TimeScale:  scale,
-		EventCap:   o.EventCap,
+		Cluster:        o.Cluster,
+		Placer:         placer,
+		Policy:         policy,
+		Rho:            rho,
+		Eps:            eps,
+		UpdateK:        o.UpdateK,
+		MaxPending:     o.MaxPending,
+		TimeScale:      scale,
+		EventCap:       o.EventCap,
+		SolveWorkers:   o.SolveWorkers,
+		PlaceCacheSize: o.PlaceCacheSize,
 	})
 }
 

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke
 
-ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,14 @@ fuzz-smoke:
 # includes ./internal/engine/...)
 serve-smoke:
 	$(GO) run ./cmd/tetrium-serve -smoke -cluster paper -time-scale 0.002
+
+# Failure-domain gate: the engine chaos test (site crashes, partition,
+# stragglers, solver stalls under concurrent submitters — zero lost
+# jobs) plus the crash-restart and SIGTERM-drain subprocess tests, all
+# under the race detector.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosEngine' ./internal/engine
+	$(GO) test -race -count=1 -run 'TestCrashRestart|TestSigtermDrain' ./cmd/tetrium-serve
 
 fmt:
 	gofmt -l -w .

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,7 +43,10 @@ func addLoadgenFlags() {
 // server and reports the serving-path numbers the ISSUE asks for:
 // submission throughput, p50/p95/p99 submit-to-placement latency, and
 // whether the mid-run §4.2 update produced visible re-placements.
-func runLoadgen(seed int64) error {
+//
+// Cancelling ctx (Ctrl-C) stops submitting and polling early and still
+// prints the report over whatever jobs completed by then.
+func runLoadgen(ctx context.Context, seed int64) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := strings.TrimRight(*lgTarget, "/")
 
@@ -94,6 +98,8 @@ func runLoadgen(seed int64) error {
 
 	start := time.Now()
 	dropAfter := len(jobs) / 2
+	interrupted := false
+submitLoop:
 	for i, j := range jobs {
 		if *lgDrop != "" && i == dropAfter {
 			if err := postDrop(client, base, *lgDrop); err != nil {
@@ -104,10 +110,20 @@ func runLoadgen(seed int64) error {
 		// Pace submissions to the requested rate.
 		if target := time.Duration(i) * interval; interval > 0 {
 			if ahead := target - time.Since(start); ahead > 0 {
-				time.Sleep(ahead)
+				select {
+				case <-time.After(ahead):
+				case <-ctx.Done():
+					interrupted = true
+					break submitLoop
+				}
 			}
 		}
-		work <- j
+		select {
+		case work <- j:
+		case <-ctx.Done():
+			interrupted = true
+			break submitLoop
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -122,14 +138,35 @@ func runLoadgen(seed int64) error {
 		ids = append(ids, r.id)
 	}
 
-	// Collect server-side submit→placement latency per job.
+	// Collect server-side submit→placement latency per job. After an
+	// interrupt, jobs the server already placed are still worth
+	// reporting: switch to a short grace context and harvest them (a
+	// placed job answers in one GET; the first unplaced one burns the
+	// grace and ends the loop).
 	var latencies []float64
+	pollCtx := ctx
 	for _, id := range ids {
-		ms, err := waitPlaced(client, base, id, *lgWait)
+		if pollCtx == ctx && ctx.Err() != nil {
+			interrupted = true
+			var cancel context.CancelFunc
+			pollCtx, cancel = context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+		}
+		ms, err := waitPlaced(pollCtx, client, base, id, *lgWait)
 		if err != nil {
+			if ctx.Err() != nil || pollCtx.Err() != nil {
+				interrupted = true
+				break
+			}
 			return fmt.Errorf("job %d: %w", id, err)
 		}
 		latencies = append(latencies, ms)
+	}
+	if interrupted {
+		fmt.Printf("loadgen: interrupted — reporting %d of %d jobs\n", len(latencies), len(jobs))
+	}
+	if len(latencies) == 0 {
+		return fmt.Errorf("interrupted before any job was placed")
 	}
 
 	restamps, drops, err := countReplacements(client, base)
@@ -148,7 +185,9 @@ func runLoadgen(seed int64) error {
 	if err := reportSolverStats(client, base); err != nil {
 		return fmt.Errorf("fetch metrics: %w", err)
 	}
-	if *lgDrop != "" && restamps == 0 {
+	// An interrupted run may have stopped before the mid-run update
+	// fired, so only a full run treats zero re-placements as a failure.
+	if !interrupted && *lgDrop != "" && restamps == 0 {
 		return fmt.Errorf("mid-run update produced no re-placements in /debug/events")
 	}
 	return nil
@@ -279,10 +318,14 @@ func submitJob(client *http.Client, base string, j *tetrium.Job) (int, error) {
 
 // waitPlaced polls one job until the engine has made its first placement
 // decision and returns the server-measured submit→placement latency.
-func waitPlaced(client *http.Client, base string, id int, bound time.Duration) (float64, error) {
+func waitPlaced(ctx context.Context, client *http.Client, base string, id int, bound time.Duration) (float64, error) {
 	deadline := time.Now().Add(bound)
 	for {
-		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", base, id), nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return 0, err
 		}
@@ -298,7 +341,11 @@ func waitPlaced(client *http.Client, base string, id int, bound time.Duration) (
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("not placed within %s (state %s)", bound, st.State)
 		}
-		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
 	}
 }
 

@@ -17,9 +17,16 @@
 //	GET  /metrics.txt        native registry dump
 //	GET  /debug/events       JSONL event stream
 //	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while replaying the journal or draining)
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight jobs
 // finish (up to -drain-timeout), then the server exits.
+//
+// Failure domain: -fault-spec injects deterministic site crashes, link
+// degradation, stragglers, and solver stalls; -journal makes accepted
+// jobs durable across a crash (kill -9 loses no admitted job);
+// -speculate duplicates straggling stages; -solve-deadline bounds each
+// placement solve before a greedy fallback takes over.
 //
 // Load-generator mode replays a synthetic trace against a running
 // server and reports submit-to-placement latency and throughput:
@@ -38,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -65,6 +73,13 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 		checkRun    = flag.Bool("check", false, "certify every LP solve")
 
+		faultSpec  = flag.String("fault-spec", "", "fault injection spec, e.g. \"crash@10s:site=1,dur=30s;straggle:p=0.05,x=4\"")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector seed (straggler lottery)")
+		journalPth = flag.String("journal", "", "durable-restart journal path (empty: no journal)")
+		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshot+truncate (0 = 1024)")
+		speculate  = flag.Bool("speculate", false, "launch duplicates of straggling stages; first finish wins")
+		solveDL    = flag.Duration("solve-deadline", 0, "per-stage LP solve bound before greedy fallback (0: none)")
+
 		loadgen = flag.Bool("loadgen", false, "run as load generator against -target")
 		smoke   = flag.Bool("smoke", false, "run the in-process smoke check and exit")
 	)
@@ -72,7 +87,12 @@ func main() {
 	flag.Parse()
 
 	if *loadgen {
-		if err := runLoadgen(*seed); err != nil {
+		// Ctrl-C mid-run still prints the partial latency report: the
+		// generator watches the signal context and cuts over to reporting
+		// whatever completed.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runLoadgen(ctx, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "tetrium-serve: loadgen:", err)
 			os.Exit(1)
 		}
@@ -105,6 +125,12 @@ func main() {
 		SolveWorkers:   *solvers,
 		PlaceCacheSize: *cacheSize,
 		Check:          *checkRun,
+		FaultSpec:      *faultSpec,
+		FaultSeed:      *faultSeed,
+		JournalPath:    *journalPth,
+		SnapshotEvery:  *snapEvery,
+		Speculate:      *speculate,
+		SolveDeadline:  *solveDL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
@@ -122,14 +148,22 @@ func main() {
 		return
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: tetrium.EngineHandler(eng)}
+	// Listen before serving so ":0" works (tests bind an ephemeral port
+	// and parse the actual address from the banner).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		eng.Close()
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: tetrium.EngineHandler(eng)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("tetrium-serve: listening on %s (cluster %s, %d sites, scheduler %s)\n",
-		*addr, *clusterName, cl.N(), sched)
+		ln.Addr(), *clusterName, cl.N(), sched)
 
 	select {
 	case err := <-errc:

@@ -15,6 +15,8 @@
 //	-seed      generation seed                            (default 1)
 //	-drop      site:frac:time capacity drop, repeatable
 //	-update-k  sites updatable after a drop (0 = all)
+//	-fault-spec deterministic fault injection (internal/fault grammar)
+//	-fault-seed fault injector seed                      (default 1)
 //	-check     verify LP certificates and simulator invariants
 //	-v         per-job output
 package main
@@ -72,6 +74,8 @@ func main() {
 		updateK     = flag.Int("update-k", 0, "sites updatable after a drop (0 = all)")
 		verbose     = flag.Bool("v", false, "per-job output")
 		timeline    = flag.String("timeline", "", "write a per-task timeline (TSV) to this file")
+		faultSpec   = flag.String("fault-spec", "", "fault injection spec, e.g. \"crash@10s:site=1,dur=30s;straggle:p=0.05,x=4\"")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault injector seed (straggler lottery)")
 		checkRun    = flag.Bool("check", false, "verify LP certificates and simulator invariants throughout the run")
 	)
 	var drops dropFlags
@@ -98,6 +102,8 @@ func main() {
 		Seed:           *seed,
 		Drops:          drops,
 		UpdateK:        *updateK,
+		FaultSpec:      *faultSpec,
+		FaultSeed:      *faultSeed,
 		RecordTimeline: *timeline != "",
 		Check:          *checkRun,
 	})

@@ -91,6 +91,62 @@ func TestCertifyLPRejectsNegativeVariable(t *testing.T) {
 	}
 }
 
+// bigKnownLP builds an instance past the brute-force limits so
+// CertifyLP must take the weak-duality path through checkDuals: a
+// transportation-style min-cost spread over enough rows that
+// ReferenceSolve declines.
+func bigKnownLP() *lp.Problem {
+	p := lp.NewProblem()
+	const k = bruteMaxRows + 2
+	vars := make([]lp.Var, k)
+	for j := 0; j < k; j++ {
+		vars[j] = p.AddVar("v", 1+float64(j)*0.1)
+	}
+	for i := 0; i < k; i++ {
+		p.AddConstraint(map[lp.Var]float64{vars[i]: 1}, lp.GE, float64(1+i))
+	}
+	return p
+}
+
+func TestCertifyLPWeakDualityRejectsCorruptedDuals(t *testing.T) {
+	p := bigKnownLP()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := CertifyLP(p, sol)
+	if err != nil {
+		t.Fatalf("certificate rejected a correct solve: %v", err)
+	}
+	if cert.Differential {
+		t.Fatalf("instance small enough for brute force — test exercises nothing")
+	}
+
+	// Wrong sign on a >= row must be caught.
+	bad, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Dual[0] = -1
+	if _, err := CertifyLP(p, bad); err == nil || !strings.Contains(err.Error(), "dual") {
+		t.Fatalf("accepted a negative dual on a >= row (err=%v)", err)
+	}
+
+	// Inflated duals overshoot A'y <= c: dual infeasible, not a mere
+	// gap — the per-column backward-error scale must not absorb a real
+	// violation.
+	bad2, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bad2.Dual {
+		bad2.Dual[i] *= 2
+	}
+	if _, err := CertifyLP(p, bad2); err == nil {
+		t.Fatal("accepted doubled dual multipliers")
+	}
+}
+
 // TestPropertyBruteMatchesSimplex differentially tests ReferenceSolve
 // against the simplex on seeded random LPs mixing unit- and 1e9-scale
 // rows (the same generator family as FuzzSolve, fixed seeds).

@@ -28,7 +28,7 @@ func Handler(e *engine.Engine) http.Handler {
 		}
 		st, err := e.Submit(job)
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, jobStatus(st))
@@ -36,7 +36,7 @@ func Handler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		sts, err := e.Jobs()
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		out := make([]JobStatus, 0, len(sts))
@@ -53,7 +53,7 @@ func Handler(e *engine.Engine) http.Handler {
 		}
 		st, err := e.Job(id)
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, jobStatus(st))
@@ -61,7 +61,7 @@ func Handler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		cs, err := e.Cluster()
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, clusterStatus(cs))
@@ -79,7 +79,7 @@ func Handler(e *engine.Engine) http.Handler {
 		replaced, err := e.UpdateCluster(ups)
 		if err != nil {
 			if errors.Is(err, engine.ErrStopped) {
-				writeEngineErr(w, err)
+				writeEngineErr(e, w, err)
 			} else {
 				writeErr(w, http.StatusBadRequest, err)
 			}
@@ -90,7 +90,7 @@ func Handler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		body, err := e.MetricsPrometheus()
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -99,7 +99,7 @@ func Handler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /metrics.txt", func(w http.ResponseWriter, r *http.Request) {
 		body, err := e.MetricsText()
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -108,7 +108,7 @@ func Handler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
 		evs, dropped, err := e.Events()
 		if err != nil {
-			writeEngineErr(w, err)
+			writeEngineErr(e, w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
@@ -116,11 +116,23 @@ func Handler(e *engine.Engine) http.Handler {
 		obs.WriteJSONL(w, evs)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the event loop answers at all. Readiness (accepting
+		// useful traffic) is /readyz's job.
 		if _, err := e.Cluster(); err != nil {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: not ready while replaying the journal after a
+		// restart, while draining toward shutdown, or once stopped.
+		// Orchestrators route traffic elsewhere without killing the pod.
+		if ok, reason := e.Ready(); !ok {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: reason})
+			return
+		}
+		w.Write([]byte("ready\n"))
 	})
 	return mux
 }
@@ -136,12 +148,13 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // writeEngineErr maps engine sentinels to HTTP semantics: backpressure
-// is 429 with a Retry-After hint, drain/stop is 503, unknown IDs 404,
-// anything else a submission-validation 400.
-func writeEngineErr(w http.ResponseWriter, err error) {
+// is 429 with a Retry-After hint computed from queue overflow and the
+// recent drain rate, drain/stop is 503, unknown IDs 404, anything else
+// a submission-validation 400.
+func writeEngineErr(e *engine.Engine, w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, engine.ErrDraining), errors.Is(err, engine.ErrStopped):
 		writeErr(w, http.StatusServiceUnavailable, err)

@@ -2,10 +2,12 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -324,5 +326,83 @@ func TestWireEstComputeDefault(t *testing.T) {
 	}
 	if got := job.Stages[1].EstCompute; got != 2 {
 		t.Errorf("explicit est_compute overridden: got %v, want 2", got)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	srv, e := testServer(t, func(cfg *engine.Config) {
+		cfg.TimeScale = 1000 // park submitted jobs so draining never ends
+	})
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d, want 200", resp.StatusCode)
+	}
+
+	// Draining: liveness stays green, readiness flips with a reason.
+	if resp, _ := postJob(t, srv, submitBody(t)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	e.Drain(ctx) // times out, but admission is now closed
+
+	resp2, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz draining: %v", err)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || eb.Error != "draining" {
+		t.Errorf("readyz draining = %d/%q, want 503/draining", resp2.StatusCode, eb.Error)
+	}
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (still live)", h.StatusCode)
+	}
+
+	e.Close()
+	resp3, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz stopped: %v", err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after close = %d, want 503", resp3.StatusCode)
+	}
+}
+
+func TestRetryAfterComputed(t *testing.T) {
+	srv, _ := testServer(t, func(cfg *engine.Config) {
+		cfg.MaxPending = 1
+		cfg.TimeScale = 1000 // first job parks, queue stays full
+	})
+	body := submitBody(t)
+	if resp, _ := postJob(t, srv, body); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp, _ := postJob(t, srv, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", ra, err)
+	}
+	if secs < 1 || secs > 60 {
+		t.Errorf("Retry-After = %d, want within [1,60]", secs)
 	}
 }

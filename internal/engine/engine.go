@@ -40,11 +40,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tetrium/internal/cluster"
+	"tetrium/internal/fault"
+	"tetrium/internal/journal"
 	"tetrium/internal/obs"
 	"tetrium/internal/place"
 	"tetrium/internal/sched"
@@ -98,19 +102,55 @@ type Config struct {
 	// EventCap bounds the retained debug event buffer; the oldest
 	// quarter is discarded when full. Default 65536.
 	EventCap int
+
+	// Faults, when non-nil, injects the deterministic fault timeline and
+	// probabilistic stragglers of internal/fault into the engine: site
+	// crashes kill running work (requeued and re-executed, unlike the
+	// sim's graceful decommission), stragglers stretch stage attempts,
+	// and solve stalls wedge LP workers.
+	Faults *fault.Injector
+	// Journal, when non-nil, makes admissions durable: every accepted
+	// job is journaled before the submit returns, and placements and
+	// completions follow. The engine owns the journal and closes it in
+	// Close.
+	Journal *journal.Journal
+	// Restore, when non-nil, is replayed before the loop serves its
+	// first request: done jobs come back as terminal records, live jobs
+	// re-run from scratch under their original IDs. Pair it with the
+	// State returned by journal.Open.
+	Restore *journal.State
+	// Speculate enables straggler speculation: a stage still running
+	// past a percentile-calibrated multiple of its estimate gets a
+	// duplicate on the fastest site; first finish wins.
+	Speculate bool
+	// SpecPercentile is the percentile of observed actual/estimate
+	// stage-duration ratios that sets the speculation threshold.
+	// Default 95.
+	SpecPercentile float64
+	// SolveDeadline bounds how long a stage waits on its async LP solve
+	// before falling back to the greedy in-place baseline (never
+	// cached; upgraded if the real solve lands before launch). 0
+	// disables the deadline.
+	SolveDeadline time.Duration
+	// SolveRetries bounds how many times a deadlined solve is
+	// re-dispatched with jittered backoff. Default 2; negative
+	// disables retries.
+	SolveRetries int
 }
 
 // Engine is a live scheduling service. Create with New; all methods are
 // safe for concurrent use.
 type Engine struct {
-	cfg     Config
-	reqs    chan func()
-	quit    chan struct{}
-	stopped chan struct{}
-	once    sync.Once
-	start   time.Time
-	st      *state
-	pool    *solvePool
+	cfg         Config
+	reqs        chan func()
+	quit        chan struct{}
+	stopped     chan struct{}
+	once        sync.Once
+	start       time.Time
+	st          *state
+	pool        *solvePool
+	replaying   atomic.Bool   // journal replay still pending on the loop
+	faultTimers []*time.Timer // injector timeline; stopped in Close
 }
 
 // New validates the configuration and starts the event loop.
@@ -138,6 +178,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PlaceCacheSize == 0 {
 		cfg.PlaceCacheSize = 4096
 	}
+	if cfg.SpecPercentile <= 0 || cfg.SpecPercentile > 100 {
+		cfg.SpecPercentile = 95
+	}
+	if cfg.SolveRetries == 0 {
+		cfg.SolveRetries = 2
+	}
 	e := &Engine{
 		cfg:     cfg,
 		reqs:    make(chan func(), 128),
@@ -147,6 +193,27 @@ func New(cfg Config) (*Engine, error) {
 		pool:    newSolvePool(cfg.SolveWorkers),
 	}
 	e.st = newState(e)
+	if cfg.Restore != nil {
+		// Replay runs as the loop's first todo item: the todo queue
+		// drains before any request is served, so no Submit can observe
+		// (or collide with) a half-restored state. Readiness probes watch
+		// the flag instead of blocking.
+		e.replaying.Store(true)
+		rs := cfg.Restore
+		e.st.todo = append(e.st.todo, func() {
+			e.st.restore(rs)
+			e.replaying.Store(false)
+		})
+	}
+	if cfg.Faults != nil {
+		for _, f := range cfg.Faults.Timeline() {
+			f := f
+			d := time.Duration(f.Time * float64(time.Second))
+			e.faultTimers = append(e.faultTimers, time.AfterFunc(d, func() {
+				e.inject(func() { e.st.applyFault(f) })
+			}))
+		}
+	}
 	go e.loop()
 	return e, nil
 }
@@ -215,11 +282,18 @@ func (e *Engine) inject(fn func()) {
 func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
 
 // Close stops the event loop. In-flight jobs are abandoned; use Drain
-// first for a graceful stop. Idempotent.
+// first for a graceful stop. The configured journal (if any) is
+// snapshotted and closed. Idempotent.
 func (e *Engine) Close() {
 	e.once.Do(func() { close(e.quit) })
 	<-e.stopped
+	for _, t := range e.faultTimers {
+		t.Stop()
+	}
 	e.pool.close()
+	if j := e.cfg.Journal; j != nil {
+		j.Close()
+	}
 }
 
 // Drain stops admission and waits until every admitted job has reached
@@ -362,6 +436,54 @@ func (e *Engine) render(f func(*state) ([]byte, error)) ([]byte, error) {
 		return nil, err
 	}
 	return out, rerr
+}
+
+// Ready reports whether the engine can usefully accept traffic, with a
+// human-readable reason when it cannot: journal replay still pending,
+// draining, or stopped. Liveness (the loop responding at all) is a
+// separate, weaker question — see the API's /healthz vs /readyz.
+func (e *Engine) Ready() (bool, string) {
+	if e.replaying.Load() {
+		return false, "replaying journal"
+	}
+	var draining bool
+	if err := e.do(func() { draining = e.st.draining }); err != nil {
+		return false, "stopped"
+	}
+	if draining {
+		return false, "draining"
+	}
+	return true, "ready"
+}
+
+// RetryAfter suggests how many seconds a rejected submitter should wait
+// before retrying, from the current queue overflow and the recent drain
+// rate. Clamped to [1, 60].
+func (e *Engine) RetryAfter() int {
+	var (
+		overflow int
+		rate     float64
+	)
+	if err := e.do(func() {
+		overflow = e.st.activeCount - e.cfg.MaxPending + 1
+		rate = e.st.drainRate(time.Now())
+	}); err != nil {
+		return 1
+	}
+	if overflow < 1 {
+		overflow = 1
+	}
+	secs := overflow
+	if rate > 0 {
+		secs = int(math.Ceil(float64(overflow) / rate))
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Events returns a copy of the retained debug event buffer plus the

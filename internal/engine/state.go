@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"math/rand"
 	"time"
 
 	"tetrium/internal/dynamics"
@@ -122,11 +123,13 @@ type jobState struct {
 	phase      JobPhase
 	stages     []*stageRun
 	stagesDone int
+	numStages  int // len(stages), except for journal-restored done jobs
 	submitted  time.Time
 	placed     time.Time
 	finished   time.Time
 	wanBytes   float64
 	remTasks   int
+	journaled  bool // first placement written to the journal
 }
 
 func (j *jobState) terminal() bool { return j.phase == JobDone }
@@ -149,6 +152,16 @@ type stageRun struct {
 	held      []int // slots held per site while running
 	heldTotal int
 	gen       int // invalidates stale completion timers
+
+	// Failure domain (failure.go).
+	attempt    int           // execution attempt; bumped on crash requeue
+	launchedAt float64       // s.now() at launch
+	expectWall time.Duration // un-straggled wall duration of the current run
+	specActive bool          // a speculative duplicate is running
+	specSite   int           // site hosting the duplicate
+	specSlots  int           // slots the duplicate holds
+	solveSeq   int           // latest async solve attempt (deadline retry guard)
+	deadlineFB bool          // current placement is a solve-deadline fallback
 
 	interBySite []float64 // reduce input location, from upstream outputs
 	outBySite   []float64 // where this stage's output landed
@@ -181,6 +194,13 @@ type state struct {
 
 	cache  *placeCache // placement memo cache (nil when disabled)
 	resGen int         // bumped on every cluster update; stale-solve guard
+
+	// Failure domain (failure.go).
+	restoring  bool        // journal replay in progress; skip re-journaling
+	solveCount int         // async solves dispatched (drives injected stalls)
+	specRatios []float64   // observed actual/estimated stage-duration ratios
+	doneWall   []time.Time // recent completion wall times (drain-rate window)
+	rng        *rand.Rand  // retry-backoff jitter (loop-owned)
 }
 
 func newState(e *Engine) *state {
@@ -201,6 +221,7 @@ func newState(e *Engine) *state {
 		downBW:   cl.DownBW(),
 		jobs:     make(map[int]*jobState),
 		rec:      rec,
+		rng:      rand.New(rand.NewSource(1)), // jitter only; determinism beats entropy
 	}
 }
 
@@ -245,6 +266,15 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 		return 0, ErrQueueFull
 	}
 	id := s.nextID
+	if j := s.e.cfg.Journal; j != nil {
+		// The admission is durable before it is acknowledged: a journal
+		// write failure rejects the job rather than accepting work a
+		// restart would silently lose.
+		if err := j.Admit(id, time.Now().UnixMilli(), spec); err != nil {
+			s.rec.Registry().Counter("engine.journal_errors").Inc()
+			return 0, err
+		}
+	}
 	s.nextID++
 	js := &jobState{
 		id:        id,
@@ -262,6 +292,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 		total += len(st.Tasks)
 	}
 	js.remTasks = total
+	js.numStages = len(js.stages)
 	s.jobs[id] = js
 	s.order = append(s.order, js)
 	s.activeCount++
@@ -480,8 +511,9 @@ const maxStaleDrops = 2
 
 // applyPlacement commits a solve result to the stage and emits the
 // Placement event. Always runs on the loop.
-func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r placeResult, fallback, cached, restamp bool, solveNanos int64) {
+func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r placeResult, fallback, cached, restamp, deadline bool, solveNanos int64) {
 	sr.staleDrops = 0
+	sr.deadlineFB = deadline
 	sr.tasks = append([]int(nil), r.tasks...)
 	sr.estNet, sr.estCompute = r.estNet, r.estCompute
 	sr.wan = r.wan
@@ -492,7 +524,7 @@ func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r pl
 		Placer: s.e.cfg.Placer.Name(), Pending: pr.numTasks(),
 		EstNet: sr.estNet, EstCompute: sr.estCompute, Est: sr.est,
 		TasksBySite: append([]int(nil), sr.tasks...),
-		Fallback:    fallback, Restamp: restamp, Cached: cached,
+		Fallback:    fallback, Restamp: restamp, Cached: cached, Deadline: deadline,
 		SolveNanos: solveNanos,
 	})
 	if js.placed.IsZero() {
@@ -502,6 +534,12 @@ func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r pl
 		}
 		s.rec.Registry().Histogram("engine.submit_to_place_s", 1e-6, 4, 16).
 			Observe(js.placed.Sub(js.submitted).Seconds())
+		if j := s.e.cfg.Journal; j != nil && !s.restoring && !js.journaled {
+			js.journaled = true
+			if err := j.Place(js.id, sr.idx, time.Now().UnixMilli()); err != nil {
+				s.rec.Registry().Counter("engine.journal_errors").Inc()
+			}
+		}
 	}
 }
 
@@ -528,7 +566,7 @@ func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) (solves,
 		key = s.requestKey(pr)
 		if r, ok := s.cache.get(key); ok {
 			s.rec.Registry().Counter("engine.place_cache_hits").Inc()
-			s.applyPlacement(js, sr, pr, r, false, true, force, 0)
+			s.applyPlacement(js, sr, pr, r, false, true, force, false, 0)
 			return 0, 1
 		}
 		s.rec.Registry().Counter("engine.place_cache_misses").Inc()
@@ -541,34 +579,36 @@ func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) (solves,
 		t0 := time.Now()
 		res := place.Resources{Slots: s.capSlots, UpBW: s.upBW, DownBW: s.downBW}
 		r, fb := solveRequest(s.e.cfg.Placer, res, pr)
-		s.applyPlacement(js, sr, pr, r, fb, false, force, time.Since(t0).Nanoseconds())
+		s.applyPlacement(js, sr, pr, r, fb, false, force, false, time.Since(t0).Nanoseconds())
 		if s.cache != nil && !fb {
 			s.cache.put(key, r)
 		}
 		return 1, 0
 	}
 	sr.solving = true
-	res := place.Resources{
-		Slots:  append([]int(nil), s.capSlots...),
-		UpBW:   append([]float64(nil), s.upBW...),
-		DownBW: append([]float64(nil), s.downBW...),
-	}
-	gen := s.resGen
-	placer := s.e.cfg.Placer
-	s.e.pool.submit(func() {
-		t0 := time.Now()
-		r, fb := solveRequest(placer, res, pr)
-		nanos := time.Since(t0).Nanoseconds()
-		s.e.inject(func() { s.commitPlacement(js, sr, pr, key, gen, r, fb, nanos) })
-	})
+	sr.solveSeq++
+	s.dispatchSolve(js, sr, pr, key, 0)
 	return 1, 0
 }
 
-// commitPlacement lands an off-loop solve back on the loop.
-func (s *state) commitPlacement(js *jobState, sr *stageRun, pr placeRequest, key placeKey, gen int, r placeResult, fallback bool, nanos int64) {
+// commitPlacement lands an off-loop solve back on the loop. seq guards
+// against superseded solve attempts (deadline retries, failure.go).
+func (s *state) commitPlacement(js *jobState, sr *stageRun, pr placeRequest, key placeKey, gen, seq int, r placeResult, fallback bool, nanos int64) {
+	if seq != sr.solveSeq {
+		return // a retry superseded this attempt
+	}
 	sr.solving = false
-	if sr.placed || js.terminal() {
+	if js.terminal() {
 		return
+	}
+	if sr.placed {
+		// A solve-deadline fallback placed the stage while this LP was
+		// still running: upgrade to the real solution if the stage has
+		// not launched yet against current capacities.
+		if !(sr.deadlineFB && sr.phase == stageReady && gen == s.resGen) {
+			return
+		}
+		s.rec.Registry().Counter("engine.solves_late_upgrades").Inc()
 	}
 	if gen != s.resGen {
 		// Capacities changed while the LP was solving: the result is
@@ -580,7 +620,7 @@ func (s *state) commitPlacement(js *jobState, sr *stageRun, pr placeRequest, key
 		s.scheduleSoon()
 		return
 	}
-	s.applyPlacement(js, sr, pr, r, fallback, false, false, nanos)
+	s.applyPlacement(js, sr, pr, r, fallback, false, false, false, nanos)
 	if s.cache != nil && !fallback {
 		s.cache.put(key, r)
 	}
@@ -639,9 +679,13 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 	if total == 0 {
 		// The placement's sites may have lost all capacity since the
 		// solve (§4.2); retarget proportionally to surviving capacity
-		// and retry once.
+		// and retry once. The old estimate described the dead sites, so
+		// restamp it with the wave-count estimate for the new ones.
 		if !s.anyCapacity(sr.tasks) {
 			sr.tasks = capacityProportional(s.capSlots, len(sr.spec.Tasks))
+			sr.estNet = 0
+			sr.estCompute = fallbackEst(len(sr.spec.Tasks), sr.spec.EstCompute, s.capSlots)
+			sr.est = sr.estCompute
 			alloc, total = s.allocate(sr.tasks, *budget)
 		}
 		if total == 0 {
@@ -671,6 +715,23 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 		dur *= float64(ideal) / float64(total)
 	}
 	wall := time.Duration(dur * s.e.cfg.TimeScale * float64(time.Second))
+	sr.launchedAt = s.now()
+	sr.expectWall = wall
+	if wall > 0 {
+		// Injected straggle: this stage attempt runs factor× slower than
+		// its estimate (a fresh attempt after a crash requeue is a fresh
+		// draw). Speculation, if enabled, is what claws the time back.
+		if inj := s.e.cfg.Faults; inj != nil {
+			if factor := inj.StraggleFactor(js.id, sr.idx, 0, sr.attempt); factor > 1 {
+				wall = time.Duration(float64(wall) * factor)
+				s.emit(obs.Fault{
+					T: sr.launchedAt, Fault: "task_straggle",
+					Job: js.id, Stage: sr.idx, Factor: factor,
+				})
+			}
+		}
+		s.scheduleSpecCheck(js, sr, gen)
+	}
 	if s.e.cfg.TimeScale <= 0 || wall <= 0 {
 		s.todo = append(s.todo, func() { s.completeStage(js, sr, gen) })
 	} else {
@@ -716,9 +777,18 @@ func (s *state) anyCapacity(tasks []int) bool {
 
 // Completion ----------------------------------------------------------------
 
+// completeStage handles the original attempt finishing; the speculative
+// path enters through specDone (failure.go). Both converge here.
 func (s *state) completeStage(js *jobState, sr *stageRun, gen int) {
+	s.stageFinished(js, sr, gen, false)
+}
+
+func (s *state) stageFinished(js *jobState, sr *stageRun, gen int, byCopy bool) {
 	if sr.phase != stageRunning || sr.gen != gen {
 		return
+	}
+	if !byCopy {
+		s.observeStageRatio(sr)
 	}
 	for x, h := range sr.held {
 		s.free[x] += h
@@ -726,24 +796,33 @@ func (s *state) completeStage(js *jobState, sr *stageRun, gen int) {
 	sr.held = nil
 	sr.heldTotal = 0
 	sr.phase = stageDone
+	specSite := sr.specSite
+	s.cancelSpec(sr) // winner or loser, the duplicate's slots come back
 
-	// The stage's output lands where its tasks ran.
+	// The stage's output lands where its tasks ran — or entirely at the
+	// duplicate's site when the copy won the race.
 	out := sr.spec.TotalOutput()
 	sr.outBySite = make([]float64, s.n)
 	taskTotal := 0
 	for _, t := range sr.tasks {
 		taskTotal += t
 	}
-	if taskTotal > 0 {
+	switch {
+	case byCopy:
+		sr.outBySite[specSite] = out
+	case taskTotal > 0:
 		for x, t := range sr.tasks {
 			sr.outBySite[x] = out * float64(t) / float64(taskTotal)
 		}
-	} else if s.n > 0 {
+	case s.n > 0:
 		sr.outBySite[0] = out
 	}
 
 	t := s.now()
-	s.emit(obs.StageDone{T: t, Job: js.id, Stage: sr.idx})
+	if byCopy {
+		s.rec.Registry().Counter("engine.stages_rescued").Inc()
+	}
+	s.emit(obs.StageDone{T: t, Job: js.id, Stage: sr.idx, Rescued: byCopy})
 	js.stagesDone++
 	js.remTasks -= len(sr.spec.Tasks)
 	if js.stagesDone == len(js.stages) {
@@ -791,6 +870,15 @@ func (s *state) finishJob(js *jobState, t float64) {
 		Response: js.finished.Sub(js.submitted).Seconds(),
 		WANBytes: js.wanBytes,
 	})
+	if j := s.e.cfg.Journal; j != nil && !s.restoring {
+		if err := j.Done(js.id, js.finished.UnixMilli(), js.name, js.numStages, js.wanBytes); err != nil {
+			s.rec.Registry().Counter("engine.journal_errors").Inc()
+		}
+	}
+	s.doneWall = append(s.doneWall, js.finished)
+	if len(s.doneWall) > drainRateWindow {
+		s.doneWall = s.doneWall[len(s.doneWall)-drainRateWindow:]
+	}
 	if s.draining && s.activeCount == 0 {
 		for _, ch := range s.drainDone {
 			close(ch)
@@ -863,6 +951,9 @@ func (s *state) replaceAll() int {
 					s.free[x] += h
 				}
 				alloc, total := s.allocate(sr.tasks, len(sr.spec.Tasks))
+				for x, a := range alloc {
+					s.free[x] -= a
+				}
 				sr.held = alloc
 				sr.heldTotal = total
 			}
@@ -880,7 +971,7 @@ func (s *state) snapshot(js *jobState, detail bool) JobStatus {
 		Name:       js.name,
 		Phase:      js.phase,
 		StagesDone: js.stagesDone,
-		NumStages:  len(js.stages),
+		NumStages:  js.numStages,
 		Submitted:  js.submitted,
 		Placed:     js.placed,
 		Finished:   js.finished,

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	sp, err := ParseSpec("crash@2s:site=1,dur=3s; degrade@1:site=0,frac=0.6,dur=5; partition@4s:site=2; straggle:p=0.1,x=6; stall:every=7,dur=250ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(sp.Events) != 5 {
+		t.Fatalf("events = %d, want 5 (crash+rejoin, degrade+restore, partition)", len(sp.Events))
+	}
+	if sp.StraggleP != 0.1 || sp.StraggleX != 6 {
+		t.Errorf("straggle = p%v x%v, want p0.1 x6", sp.StraggleP, sp.StraggleX)
+	}
+	if sp.StallEvery != 7 || sp.StallDur != 0.25 {
+		t.Errorf("stall = every%d dur%v, want every7 dur0.25", sp.StallEvery, sp.StallDur)
+	}
+
+	in := New(sp, 1)
+	tl := in.Timeline()
+	if len(tl) != 5 {
+		t.Fatalf("timeline = %d entries, want 5", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Time < tl[i-1].Time {
+			t.Fatalf("timeline not sorted: %v", tl)
+		}
+	}
+	// degrade@1 sorts first; crash@2 next; rejoin at 2+3=5, restore at 1+5=6.
+	want := []struct {
+		t float64
+		k Kind
+		s int
+	}{
+		{1, LinkDegrade, 0}, {2, SiteCrash, 1}, {4, LinkDegrade, 2}, {5, SiteRejoin, 1}, {6, LinkRestore, 0},
+	}
+	for i, w := range want {
+		if tl[i].Time != w.t || tl[i].Kind != w.k || tl[i].Site != w.s {
+			t.Errorf("timeline[%d] = %+v, want t=%v kind=%v site=%d", i, tl[i], w.t, w.k, w.s)
+		}
+	}
+	if tl[0].Frac != 0.6 {
+		t.Errorf("degrade frac = %v, want 0.6", tl[0].Frac)
+	}
+	if tl[2].Frac != 1 {
+		t.Errorf("partition frac = %v, want 1", tl[2].Frac)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	sp, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	in := New(sp, 0)
+	if in.Enabled() {
+		t.Errorf("empty spec injector reports Enabled")
+	}
+	if f := in.StraggleFactor(1, 2, 3, 0); f != 1 {
+		t.Errorf("StraggleFactor = %v, want 1", f)
+	}
+	if d := in.SolveStall(0); d != 0 {
+		t.Errorf("SolveStall = %v, want 0", d)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"crash:site=0",               // missing @time
+		"crash@1s",                   // missing site
+		"crash@xyz:site=0",           // bad time
+		"crash@1s:site=-1",           // bad site
+		"crash@1s:site=0,dur=-2",     // bad dur
+		"degrade@1s:site=0",          // missing frac
+		"degrade@1s:site=0,frac=1.5", // frac out of range
+		"straggle:x=3",               // missing p
+		"straggle:p=2",               // p out of range
+		"straggle:p=0.5,x=1",         // x must exceed 1
+		"stall:dur=1s",               // missing every
+		"stall:every=0,dur=1s",       // every must be positive
+		"stall:every=3",              // missing dur
+		"explode@1s:site=0",          // unknown verb
+		"crash@1s:site",              // malformed arg
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestStraggleDeterministicAndCalibrated(t *testing.T) {
+	in, err := Parse("straggle:p=0.25,x=8", 42)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in2, _ := Parse("straggle:p=0.25,x=8", 42)
+	other, _ := Parse("straggle:p=0.25,x=8", 43)
+
+	hits, diff := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		f := in.StraggleFactor(i, i%7, i%11, i%3)
+		if f != 1 && f != 8 {
+			t.Fatalf("factor = %v, want 1 or 8", f)
+		}
+		if f2 := in2.StraggleFactor(i, i%7, i%11, i%3); f2 != f {
+			t.Fatalf("same seed disagrees at %d: %v vs %v", i, f, f2)
+		}
+		if other.StraggleFactor(i, i%7, i%11, i%3) != f {
+			diff++
+		}
+		if f == 8 {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.25) > 0.05 {
+		t.Errorf("straggle rate = %v, want ~0.25", rate)
+	}
+	if diff == 0 {
+		t.Errorf("different seeds produced identical lottery over %d draws", n)
+	}
+	// Attempt number is part of the draw: a re-execution is a fresh machine.
+	attemptDiff := 0
+	for i := 0; i < n; i++ {
+		if in.StraggleFactor(i, 0, 0, 0) != in.StraggleFactor(i, 0, 0, 1) {
+			attemptDiff++
+		}
+	}
+	if attemptDiff == 0 {
+		t.Errorf("attempt number does not influence the lottery")
+	}
+}
+
+func TestSolveStallCadence(t *testing.T) {
+	in, err := Parse("stall:every=3,dur=50ms", 1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var stalled []int
+	for i := 0; i < 9; i++ {
+		if d := in.SolveStall(i); d > 0 {
+			if d != 50*time.Millisecond {
+				t.Errorf("stall dur = %v, want 50ms", d)
+			}
+			stalled = append(stalled, i)
+		}
+	}
+	if len(stalled) != 3 || stalled[0] != 2 || stalled[1] != 5 || stalled[2] != 8 {
+		t.Errorf("stalled solves = %v, want [2 5 8]", stalled)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		SiteCrash: "site_crash", SiteRejoin: "site_rejoin",
+		LinkDegrade: "link_degrade", LinkRestore: "link_restore",
+		TaskStraggle: "task_straggle", SolveStall: "solve_stall",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package journal gives tetrium-serve durable restart: an append-only
+// JSONL log of job admissions, placements, and completions, compacted
+// by periodic snapshot+truncate and replayed on startup so a kill -9
+// loses no accepted job.
+//
+// Durability model: records are written straight to the file descriptor
+// (no user-space buffering), so once Admit returns, the record survives
+// a crash of the process. Appends are not fsynced — a simultaneous
+// kernel crash or power loss can lose the tail, which is the standard
+// trade for a scheduler journal (the jobs' own data is not at stake,
+// only the obligation to re-run them). A torn final line — the write
+// that was in flight when the process died — is detected and dropped on
+// replay.
+//
+// Compaction: every SnapEvery records the full state is written to
+// <path>.snap (tmp file + fsync + atomic rename) and the journal is
+// truncated. Recovery therefore reads the snapshot first, then replays
+// whatever journal tail accumulated after it. Replay is idempotent:
+// duplicate records (possible when a crash lands between the snapshot
+// rename and the truncate) overwrite rather than double-apply.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"tetrium/internal/workload"
+)
+
+// record is one JSONL line. K selects which fields are meaningful.
+type record struct {
+	K string `json:"k"` // "admit" | "place" | "done"
+	// ID is the engine-assigned job ID.
+	ID int `json:"id"`
+	// T is wall-clock unix milliseconds of the record.
+	T int64 `json:"t"`
+
+	// admit
+	Spec *workload.Job `json:"spec,omitempty"`
+	Name string        `json:"name,omitempty"`
+
+	// place
+	Stage int `json:"stage,omitempty"`
+
+	// done
+	Stages   int     `json:"stages,omitempty"`
+	WANBytes float64 `json:"wan_bytes,omitempty"`
+}
+
+// LiveJob is an admitted-but-unfinished job reconstructed at recovery:
+// the engine re-runs it from scratch (placements are decisions, not
+// completed work — the cluster may have changed across the restart, so
+// replaying them would be wrong; they are journaled for forensics and
+// the Placed marker only).
+type LiveJob struct {
+	ID          int
+	SubmittedMs int64
+	Placed      bool // at least one stage had a placement decision
+	Spec        *workload.Job
+}
+
+// DoneJob is a completed job's terminal record.
+type DoneJob struct {
+	ID          int
+	Name        string
+	Stages      int
+	SubmittedMs int64
+	FinishedMs  int64
+	WANBytes    float64
+}
+
+// State is the recovered journal state, in ID order.
+type State struct {
+	// NextID is one past the highest job ID ever admitted, so restarted
+	// engines never reuse an ID.
+	NextID int
+	Live   []LiveJob
+	Done   []DoneJob
+}
+
+// Journal is an open journal. Methods are not safe for concurrent use;
+// the engine calls them from its single-writer loop.
+type Journal struct {
+	path      string
+	f         *os.File
+	snapEvery int
+	appended  int // records since the last snapshot
+
+	// state mirrors what recovery would reconstruct, so snapshots need
+	// no replay of the file being compacted.
+	live   map[int]*LiveJob
+	done   map[int]*DoneJob
+	nextID int
+}
+
+// Open opens (creating if absent) the journal at path, recovers its
+// state (snapshot at path+".snap", then the journal tail), and returns
+// both. snapEvery bounds journal growth: a snapshot+truncate runs after
+// that many appended records (<=0: default 1024).
+func Open(path string, snapEvery int) (*Journal, *State, error) {
+	if snapEvery <= 0 {
+		snapEvery = 1024
+	}
+	j := &Journal{
+		path:      path,
+		snapEvery: snapEvery,
+		live:      make(map[int]*LiveJob),
+		done:      make(map[int]*DoneJob),
+	}
+	if err := j.loadSnapshot(); err != nil {
+		return nil, nil, fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := j.replayTail(); err != nil {
+		return nil, nil, fmt.Errorf("journal: replay: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	return j, j.state(), nil
+}
+
+// Admit journals a job admission. It must return before the admission
+// is acknowledged to the client: an error rejects the submission.
+func (j *Journal) Admit(id int, nowMs int64, spec *workload.Job) error {
+	return j.append(record{K: "admit", ID: id, T: nowMs, Spec: spec, Name: spec.Name})
+}
+
+// Place journals a placement decision for one stage of a live job.
+func (j *Journal) Place(id, stage int, nowMs int64) error {
+	return j.append(record{K: "place", ID: id, Stage: stage, T: nowMs})
+}
+
+// Done journals a job completion.
+func (j *Journal) Done(id int, nowMs int64, name string, stages int, wanBytes float64) error {
+	return j.append(record{K: "done", ID: id, T: nowMs, Name: name, Stages: stages, WANBytes: wanBytes})
+}
+
+// Close snapshots the final state and closes the file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	snapErr := j.snapshot()
+	err := j.f.Close()
+	j.f = nil
+	if snapErr != nil {
+		return snapErr
+	}
+	return err
+}
+
+func (j *Journal) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.apply(rec)
+	j.appended++
+	if j.appended >= j.snapEvery {
+		if err := j.snapshot(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one record into the mirrored state. Idempotent.
+func (j *Journal) apply(rec record) {
+	if rec.ID >= j.nextID {
+		j.nextID = rec.ID + 1
+	}
+	switch rec.K {
+	case "admit":
+		if _, isDone := j.done[rec.ID]; isDone {
+			return
+		}
+		j.live[rec.ID] = &LiveJob{ID: rec.ID, SubmittedMs: rec.T, Spec: rec.Spec}
+	case "place":
+		if lj, ok := j.live[rec.ID]; ok {
+			lj.Placed = true
+		}
+	case "done":
+		submitted := rec.T
+		if lj, ok := j.live[rec.ID]; ok {
+			submitted = lj.SubmittedMs
+			delete(j.live, rec.ID)
+		}
+		j.done[rec.ID] = &DoneJob{
+			ID: rec.ID, Name: rec.Name, Stages: rec.Stages,
+			SubmittedMs: submitted, FinishedMs: rec.T, WANBytes: rec.WANBytes,
+		}
+	}
+}
+
+func (j *Journal) state() *State {
+	st := &State{NextID: j.nextID}
+	for _, lj := range j.live {
+		st.Live = append(st.Live, *lj)
+	}
+	for _, dj := range j.done {
+		st.Done = append(st.Done, *dj)
+	}
+	sort.Slice(st.Live, func(a, b int) bool { return st.Live[a].ID < st.Live[b].ID })
+	sort.Slice(st.Done, func(a, b int) bool { return st.Done[a].ID < st.Done[b].ID })
+	return st
+}
+
+// snapshot writes the mirrored state to <path>.snap atomically, then
+// truncates the journal. A crash between rename and truncate leaves
+// records that replay idempotently on top of the snapshot.
+func (j *Journal) snapshot() error {
+	snap := j.path + ".snap"
+	tmp := snap + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(snapState{NextID: j.nextID, Live: j.state().Live, Done: j.state().Done}); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snap); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if j.f != nil {
+		if err := j.f.Truncate(0); err != nil {
+			return fmt.Errorf("journal: truncate: %w", err)
+		}
+		if _, err := j.f.Seek(0, 0); err != nil {
+			return fmt.Errorf("journal: truncate: %w", err)
+		}
+	}
+	j.appended = 0
+	return nil
+}
+
+// snapState is the snapshot file's schema.
+type snapState struct {
+	NextID int       `json:"next_id"`
+	Live   []LiveJob `json:"live"`
+	Done   []DoneJob `json:"done"`
+}
+
+func (j *Journal) loadSnapshot() error {
+	b, err := os.ReadFile(j.path + ".snap")
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var ss snapState
+	if err := json.Unmarshal(b, &ss); err != nil {
+		return err
+	}
+	j.nextID = ss.NextID
+	for i := range ss.Live {
+		lj := ss.Live[i]
+		j.live[lj.ID] = &lj
+	}
+	for i := range ss.Done {
+		dj := ss.Done[i]
+		j.done[dj.ID] = &dj
+	}
+	return nil
+}
+
+func (j *Journal) replayTail() error {
+	f, err := os.Open(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line is the write in flight at the kill; drop
+			// it (its effect was never acknowledged). A torn line
+			// anywhere else would desynchronize the scanner, so stop
+			// replaying there either way.
+			return nil
+		}
+		j.apply(rec)
+		j.appended++
+	}
+	return sc.Err()
+}

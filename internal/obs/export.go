@@ -152,6 +152,13 @@ func WritePerfetto(w io.Writer, events []Event) error {
 				Cat:  "drop", Ph: "i", S: "g",
 				Ts: e.T * us, Pid: pidSched, Tid: 3,
 			})
+		case Fault:
+			threads[procThread{pidSched, 4}] = "faults"
+			out = append(out, traceEvent{
+				Name: e.Fault,
+				Cat:  "fault", Ph: "i", S: "g",
+				Ts: e.T * us, Pid: pidSched, Tid: 4,
+			})
 		}
 	}
 

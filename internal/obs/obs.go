@@ -64,11 +64,13 @@ type StageReady struct {
 }
 
 // StageDone marks a stage's last task completing — the "actual" side of
-// the estimate-vs-actual join.
+// the estimate-vs-actual join. Rescued marks a stage finished by a
+// speculative copy that beat the straggling original.
 type StageDone struct {
-	T     float64 `json:"t"`
-	Job   int     `json:"job"`
-	Stage int     `json:"stage"`
+	T       float64 `json:"t"`
+	Job     int     `json:"job"`
+	Stage   int     `json:"stage"`
+	Rescued bool    `json:"rescued,omitempty"`
 }
 
 // SchedInstance summarizes one scheduling instance (§3 intro): which
@@ -110,6 +112,7 @@ type Placement struct {
 	Fallback    bool    `json:"fallback,omitempty"` // placer errored; fallback used
 	Restamp     bool    `json:"restamp,omitempty"`  // forced re-solve after a drop
 	Cached      bool    `json:"cached,omitempty"`   // served from the placement memo cache
+	Deadline    bool    `json:"deadline,omitempty"` // LP solve missed its deadline; greedy baseline used
 	SolveNanos  int64   `json:"-"`
 }
 
@@ -179,28 +182,69 @@ type DropEvent struct {
 	NewSlots int     `json:"new_slots"`
 }
 
-func (e JobArrival) Kind() string    { return "job_arrival" }
-func (e JobDone) Kind() string       { return "job_done" }
-func (e StageReady) Kind() string    { return "stage_ready" }
-func (e StageDone) Kind() string     { return "stage_done" }
-func (e SchedInstance) Kind() string { return "sched_instance" }
-func (e Placement) Kind() string     { return "placement" }
-func (e TaskLaunch) Kind() string    { return "task_launch" }
-func (e TaskStart) Kind() string     { return "task_start" }
-func (e TaskDone) Kind() string      { return "task_done" }
-func (e FlowStart) Kind() string     { return "flow_start" }
-func (e FlowDone) Kind() string      { return "flow_done" }
-func (e DropEvent) Kind() string     { return "drop" }
+// Fault records one applied injected fault (internal/fault). Which
+// fields are meaningful depends on Fault: crash/rejoin/degrade/restore
+// carry Site (and Frac for degrades), task_straggle carries
+// Job/Stage/Factor, solve_stall carries Dur.
+type Fault struct {
+	T      float64 `json:"t"`
+	Fault  string  `json:"fault"` // fault.Kind.String()
+	Site   int     `json:"site,omitempty"`
+	Job    int     `json:"job,omitempty"`
+	Stage  int     `json:"stage,omitempty"`
+	Frac   float64 `json:"frac,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Dur    float64 `json:"dur,omitempty"`
+}
 
-func (e JobArrival) Time() float64    { return e.T }
-func (e JobDone) Time() float64       { return e.T }
-func (e StageReady) Time() float64    { return e.T }
-func (e StageDone) Time() float64     { return e.T }
-func (e SchedInstance) Time() float64 { return e.T }
-func (e Placement) Time() float64     { return e.T }
-func (e TaskLaunch) Time() float64    { return e.T }
-func (e TaskStart) Time() float64     { return e.T }
-func (e TaskDone) Time() float64      { return e.T }
-func (e FlowStart) Time() float64     { return e.T }
-func (e FlowDone) Time() float64      { return e.T }
-func (e DropEvent) Time() float64     { return e.T }
+// StageRequeue marks a running stage pulled back to the ready queue
+// because its site crashed; its tasks will re-execute elsewhere.
+type StageRequeue struct {
+	T     float64 `json:"t"`
+	Job   int     `json:"job"`
+	Stage int     `json:"stage"`
+	Site  int     `json:"site"` // crashed site the stage held slots on
+	Tasks int     `json:"tasks"`
+}
+
+// StageSpeculate marks speculative duplicates launched for a straggling
+// stage on the fastest eligible site (first finish wins).
+type StageSpeculate struct {
+	T     float64 `json:"t"`
+	Job   int     `json:"job"`
+	Stage int     `json:"stage"`
+	Site  int     `json:"site"` // site hosting the copies
+	Tasks int     `json:"tasks"`
+}
+
+func (e JobArrival) Kind() string     { return "job_arrival" }
+func (e JobDone) Kind() string        { return "job_done" }
+func (e StageReady) Kind() string     { return "stage_ready" }
+func (e StageDone) Kind() string      { return "stage_done" }
+func (e SchedInstance) Kind() string  { return "sched_instance" }
+func (e Placement) Kind() string      { return "placement" }
+func (e TaskLaunch) Kind() string     { return "task_launch" }
+func (e TaskStart) Kind() string      { return "task_start" }
+func (e TaskDone) Kind() string       { return "task_done" }
+func (e FlowStart) Kind() string      { return "flow_start" }
+func (e FlowDone) Kind() string       { return "flow_done" }
+func (e DropEvent) Kind() string      { return "drop" }
+func (e Fault) Kind() string          { return "fault" }
+func (e StageRequeue) Kind() string   { return "stage_requeue" }
+func (e StageSpeculate) Kind() string { return "stage_speculate" }
+
+func (e JobArrival) Time() float64     { return e.T }
+func (e JobDone) Time() float64        { return e.T }
+func (e StageReady) Time() float64     { return e.T }
+func (e StageDone) Time() float64      { return e.T }
+func (e SchedInstance) Time() float64  { return e.T }
+func (e Placement) Time() float64      { return e.T }
+func (e TaskLaunch) Time() float64     { return e.T }
+func (e TaskStart) Time() float64      { return e.T }
+func (e TaskDone) Time() float64       { return e.T }
+func (e FlowStart) Time() float64      { return e.T }
+func (e FlowDone) Time() float64       { return e.T }
+func (e DropEvent) Time() float64      { return e.T }
+func (e Fault) Time() float64          { return e.T }
+func (e StageRequeue) Time() float64   { return e.T }
+func (e StageSpeculate) Time() float64 { return e.T }

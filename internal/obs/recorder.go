@@ -161,6 +161,13 @@ func (r *Recorder) Emit(ev Event) {
 		}
 	case DropEvent:
 		r.reg.Counter("drops").Inc()
+	case Fault:
+		r.reg.Counter("faults").Inc()
+		r.reg.Counter("faults." + e.Fault).Inc()
+	case StageRequeue:
+		r.reg.Counter("stages.requeued").Inc()
+	case StageSpeculate:
+		r.reg.Counter("stages.speculated").Inc()
 	}
 }
 

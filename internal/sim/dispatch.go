@@ -61,6 +61,12 @@ func (e *engine) dispatch() {
 		}
 	}
 	if len(cands) == 0 || totalFree == 0 {
+		// No launchable work — but slot releases are exactly when a
+		// deferred speculative copy (one whose spec-check found the
+		// cluster full) gets its chance ("try next instance").
+		if e.cfg.Speculation {
+			e.speculate()
+		}
 		e.endInstance(started, len(cands), totalFree, nil, 0)
 		return
 	}

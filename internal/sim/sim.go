@@ -31,6 +31,7 @@ import (
 
 	"tetrium/internal/check"
 	"tetrium/internal/cluster"
+	"tetrium/internal/fault"
 	"tetrium/internal/netsim"
 	"tetrium/internal/obs"
 	"tetrium/internal/order"
@@ -86,6 +87,19 @@ type Config struct {
 	// UpdateK limits how many sites a placement may change on a drop
 	// (§4.2); 0 updates all sites.
 	UpdateK int
+
+	// Faults, when non-nil, drives the run from a deterministic fault
+	// injector (internal/fault): its timeline's site crashes/rejoins and
+	// link degradations are applied at their scheduled simulated times,
+	// and its straggle lottery stretches task compute durations (pairing
+	// naturally with Speculation). Site crashes are modeled as graceful
+	// decommissions — tasks already computing at the site finish, new
+	// work avoids it — matching the §4.2 capacity-drift machinery; the
+	// abrupt kill-and-re-execute path lives in internal/engine, which
+	// owns recovery semantics. Solve stalls do not apply here (the
+	// simulator solves inline on virtual time). Every applied fault is
+	// emitted as an obs.Fault event.
+	Faults *fault.Injector
 
 	// TrackSchedTime records the wall-clock duration of every scheduling
 	// instance (Fig. 7) in Result.SchedDurations.
@@ -223,6 +237,7 @@ func RunIsolated(cfg Config, job *workload.Job) (float64, error) {
 	iso.Arrival = 0
 	cfg.Jobs = []*workload.Job{&iso}
 	cfg.Drops = nil
+	cfg.Faults = nil
 	cfg.TrackSchedTime = false
 	cfg.Observer = nil // isolated probe runs stay out of the caller's trace
 	res, err := Run(cfg)
@@ -242,6 +257,7 @@ const (
 	evDrop
 	evDispatch
 	evSpecCheck
+	evFault
 )
 
 type event struct {
@@ -249,12 +265,13 @@ type event struct {
 	seq  int64
 	kind eventKind
 
-	job    *jobRun   // evArrival
-	st     *stageRun // evComputeDone
-	task   int       // evComputeDone
-	site   int       // evComputeDone
-	isCopy bool      // evComputeDone: speculative copy (§8)
-	drop   Drop      // evDrop
+	job    *jobRun     // evArrival
+	st     *stageRun   // evComputeDone
+	task   int         // evComputeDone
+	site   int         // evComputeDone
+	isCopy bool        // evComputeDone: speculative copy (§8)
+	drop   Drop        // evDrop
+	fault  fault.Fault // evFault
 }
 
 type eventHeap []*event
@@ -442,6 +459,11 @@ func newEngine(cfg Config) *engine {
 	for _, d := range cfg.Drops {
 		e.push(&event{time: d.Time, kind: evDrop, drop: d})
 	}
+	if cfg.Faults != nil {
+		for _, f := range cfg.Faults.Timeline() {
+			e.push(&event{time: f.Time, kind: evFault, fault: f})
+		}
+	}
 	return e
 }
 
@@ -557,6 +579,8 @@ func (e *engine) handle(ev *event) {
 		if !ev.st.doneTask[ev.task] && !ev.st.copyLaunched[ev.task] {
 			e.speculate()
 		}
+	case evFault:
+		e.onFault(ev.fault)
 	}
 }
 
@@ -690,6 +714,53 @@ func (e *engine) onDrop(d Drop) {
 	e.needDispatch = true
 }
 
+// onFault applies one injector timeline fault. Crashes reuse the §4.2
+// drop machinery (graceful decommission: running tasks finish, new work
+// routes around the site); rejoins and restores put the site's original
+// capacity back.
+func (e *engine) onFault(f fault.Fault) {
+	if f.Site < 0 || f.Site >= e.n {
+		return
+	}
+	orig := e.cfg.Cluster.Sites[f.Site]
+	const minBW = 1.0 // keep netsim capacities positive
+	switch f.Kind {
+	case fault.SiteCrash:
+		e.dropped = true
+		delta := e.capSlots[f.Site]
+		e.capSlots[f.Site] = 0
+		e.free[f.Site] -= delta // may go negative until running tasks drain
+		e.net.SetCapacity(f.Site, minBW, minBW)
+		e.upBW[f.Site] = minBW
+		e.downBW[f.Site] = minBW
+	case fault.SiteRejoin:
+		delta := orig.Slots - e.capSlots[f.Site]
+		e.capSlots[f.Site] = orig.Slots
+		e.free[f.Site] += delta
+		e.net.SetCapacity(f.Site, orig.UpBW, orig.DownBW)
+		e.upBW[f.Site] = orig.UpBW
+		e.downBW[f.Site] = orig.DownBW
+	case fault.LinkDegrade:
+		e.dropped = true
+		up := math.Max(orig.UpBW*(1-f.Frac), minBW)
+		down := math.Max(orig.DownBW*(1-f.Frac), minBW)
+		e.net.SetCapacity(f.Site, up, down)
+		e.upBW[f.Site] = up
+		e.downBW[f.Site] = down
+	case fault.LinkRestore:
+		e.net.SetCapacity(f.Site, orig.UpBW, orig.DownBW)
+		e.upBW[f.Site] = orig.UpBW
+		e.downBW[f.Site] = orig.DownBW
+	default:
+		return
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.Fault{T: e.now, Fault: f.Kind.String(), Site: f.Site, Frac: f.Frac})
+	}
+	e.reassignCaches()
+	e.needDispatch = true
+}
+
 // addFlow starts one WAN transfer on behalf of a job, charging the
 // run's and the job's WAN accounting and emitting the trace event —
 // the single choke point for flow creation.
@@ -730,6 +801,19 @@ func (e *engine) startCompute(st *stageRun, task, site int, isCopy bool) {
 		dur = st.spec.EstCompute
 	} else {
 		st.computeStart[task] = e.now
+		if e.cfg.Faults != nil {
+			// Attempt 0: the simulator never re-executes a task, so the
+			// straggle lottery has exactly one draw per task.
+			if factor := e.cfg.Faults.StraggleFactor(st.job.spec.ID, st.idx, task, 0); factor > 1 {
+				dur *= factor
+				if e.obs != nil {
+					e.obs.Emit(obs.Fault{
+						T: e.now, Fault: fault.TaskStraggle.String(),
+						Site: site, Job: st.job.spec.ID, Stage: st.idx, Factor: factor,
+					})
+				}
+			}
+		}
 		if e.cfg.Speculation && st.spec.EstCompute > 0 {
 			// Wake the speculation pass right after this task crosses
 			// the straggler threshold; otherwise a lone straggler on an

@@ -2,9 +2,12 @@ package tetrium
 
 import (
 	"net/http"
+	"time"
 
 	"tetrium/internal/engine"
 	"tetrium/internal/engine/api"
+	"tetrium/internal/fault"
+	"tetrium/internal/journal"
 )
 
 // Engine is the online scheduling service: the counterpart of Simulate
@@ -68,6 +71,24 @@ type EngineOptions struct {
 
 	// Check runs every LP solve under the certification layer.
 	Check bool
+
+	// FaultSpec, when non-empty, injects deterministic faults (site
+	// crash/rejoin, link degrade/partition, stragglers, solve stalls)
+	// per the internal/fault grammar, seeded by FaultSeed.
+	FaultSpec string
+	FaultSeed int64
+	// JournalPath, when non-empty, makes accepted jobs durable: the
+	// journal at this path is replayed on startup (a restart loses no
+	// admitted job) and appended to while serving. SnapshotEvery bounds
+	// journal growth (0: default 1024 records per snapshot+truncate).
+	JournalPath   string
+	SnapshotEvery int
+	// Speculate launches duplicates of straggling stages on the fastest
+	// eligible site; first finish wins.
+	Speculate bool
+	// SolveDeadline bounds each placement LP solve before the greedy
+	// fallback places the stage instead; 0 disables.
+	SolveDeadline time.Duration
 }
 
 // NewEngine starts an online scheduling engine. Callers must Close it
@@ -96,7 +117,24 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 	case scale < 0:
 		scale = 0
 	}
-	return engine.New(engine.Config{
+	var inj *fault.Injector
+	if o.FaultSpec != "" {
+		inj, err = fault.Parse(o.FaultSpec, o.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var (
+		jnl     *journal.Journal
+		restore *journal.State
+	)
+	if o.JournalPath != "" {
+		jnl, restore, err = journal.Open(o.JournalPath, o.SnapshotEvery)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.New(engine.Config{
 		Cluster:        o.Cluster,
 		Placer:         placer,
 		Policy:         policy,
@@ -108,11 +146,23 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		EventCap:       o.EventCap,
 		SolveWorkers:   o.SolveWorkers,
 		PlaceCacheSize: o.PlaceCacheSize,
+		Faults:         inj,
+		Journal:        jnl,
+		Restore:        restore,
+		Speculate:      o.Speculate,
+		SolveDeadline:  o.SolveDeadline,
 	})
+	if err != nil {
+		if jnl != nil {
+			jnl.Close()
+		}
+		return nil, err
+	}
+	return eng, nil
 }
 
 // EngineHandler serves an Engine over HTTP/JSON: POST /v1/jobs,
 // GET /v1/jobs[/{id}], GET /v1/cluster, POST /v1/cluster/update,
 // GET /metrics (Prometheus), GET /metrics.txt, GET /debug/events
-// (JSONL), GET /healthz.
+// (JSONL), GET /healthz (liveness), GET /readyz (readiness).
 func EngineHandler(e *Engine) http.Handler { return api.Handler(e) }

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"tetrium/internal/cluster"
+	"tetrium/internal/fault"
 	"tetrium/internal/obs"
 	"tetrium/internal/order"
 	"tetrium/internal/place"
@@ -283,6 +284,15 @@ type Options struct {
 	Drops   []Drop
 	UpdateK int
 
+	// FaultSpec, when non-empty, drives the run from the internal/fault
+	// injector: site crash/rejoin, link degradation/partition, task
+	// stragglers, solver stalls — e.g.
+	// "crash@10s:site=1,dur=30s;straggle:p=0.05,x=4". FaultSeed seeds
+	// the injector's own RNG (straggler lottery) so a (spec, seed) pair
+	// reproduces exactly.
+	FaultSpec string
+	FaultSeed int64
+
 	// BatchWindow batches slot releases into scheduling instances (§5);
 	// 0 schedules immediately on every event.
 	BatchWindow float64
@@ -365,6 +375,13 @@ func buildConfig(o Options) (sim.Config, error) {
 		RecordTimeline: o.RecordTimeline,
 		Observer:       o.Observer,
 		Check:          o.Check,
+	}
+	if o.FaultSpec != "" {
+		inj, err := fault.Parse(o.FaultSpec, o.FaultSeed)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Faults = inj
 	}
 	placer, policy, err := plannerFor(o.Scheduler, o.Cluster.N(), o.Check)
 	if err != nil {

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke
 
-ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,18 @@ serve-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosEngine' ./internal/engine
 	$(GO) test -race -count=1 -run 'TestCrashRestart|TestSigtermDrain' ./cmd/tetrium-serve
+
+# Fleet-analytics gate: a live multi-tenant run must serve all four
+# /v1/analytics endpoint families as well-formed per-tenant JSON, the
+# staged 1→N-client loadgen must print its latency + attribution
+# tables, and offline tetrium-fleet ingestion of the run's journal +
+# event trace must reproduce the live totals bit-for-bit. The engine
+# alloc-guard (zero allocations on the event path with analytics off)
+# rides along.
+analytics-smoke:
+	$(GO) test -count=1 -run 'TestAnalyticsSmoke|TestFleetCLIUsage' ./cmd/tetrium-fleet
+	$(GO) test -count=1 -run 'TestStagedLoadgen' ./cmd/tetrium-serve
+	$(GO) test -count=1 -run 'TestAnalyticsDisabledHotPath|TestAnalyticsLiveOfflineParity' ./internal/engine
 
 fmt:
 	gofmt -l -w .

@@ -27,16 +27,20 @@ var (
 	lgWorkers *int
 	lgDrop    *string
 	lgWait    *time.Duration
+	lgClients *int
+	lgStages  *string
 )
 
 func addLoadgenFlags() {
 	lgTarget = flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
-	lgJobs = flag.Int("jobs", 100, "loadgen: jobs to submit")
+	lgJobs = flag.Int("jobs", 100, "loadgen: jobs to submit (per stage in staged mode)")
 	lgTrace = flag.String("trace", "bigdata", "loadgen: workload kind tpcds|bigdata|prod")
 	lgRate = flag.Float64("rate", 600, "loadgen: submission rate, jobs/minute")
 	lgWorkers = flag.Int("workers", 8, "loadgen: concurrent submitters")
 	lgDrop = flag.String("drop", "0:0.4", "loadgen: site:frac cluster update fired mid-run (empty: none)")
 	lgWait = flag.Duration("wait", 60*time.Second, "loadgen: per-job placement poll bound")
+	lgClients = flag.Int("clients", 0, "loadgen: staged mode with N concurrent tenant clients (single stage)")
+	lgStages = flag.String("stages", "", "loadgen: staged mode, client counts per stage, e.g. \"1,3,10\"")
 }
 
 // runLoadgen replays a synthetic arrival process against a running
@@ -47,6 +51,9 @@ func addLoadgenFlags() {
 // Cancelling ctx (Ctrl-C) stops submitting and polling early and still
 // prints the report over whatever jobs completed by then.
 func runLoadgen(ctx context.Context, seed int64) error {
+	if *lgStages != "" || *lgClients > 0 {
+		return runStagedLoadgen(ctx, seed)
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := strings.TrimRight(*lgTarget, "/")
 

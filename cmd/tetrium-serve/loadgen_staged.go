@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tetrium"
+	"tetrium/internal/fleet"
+	"tetrium/internal/metrics"
+)
+
+// runStagedLoadgen is the -clients/-stages multi-tenant scenario: each
+// stage runs N concurrent clients, each submitting as its own tenant
+// ("client-0", "client-1", ...), so the server's /v1/analytics store has
+// real per-tenant attribution to report. After the last stage it prints
+// the per-stage latency quantiles followed by the analytics summary
+// table (per-tenant slot-seconds, WAN bytes, shares).
+//
+// -stages "1,3,10" ramps the client count across stages; -clients N
+// alone is shorthand for a single stage of N clients. Each stage
+// submits -jobs jobs split round-robin across its clients.
+func runStagedLoadgen(ctx context.Context, seed int64) error {
+	stages, err := parseStages()
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*lgTarget, "/")
+
+	cl, err := fetchCluster(client, base)
+	if err != nil {
+		return fmt.Errorf("fetch cluster: %w", err)
+	}
+	var kind tetrium.TraceKind
+	switch *lgTrace {
+	case "tpcds":
+		kind = tetrium.TraceTPCDS
+	case "bigdata":
+		kind = tetrium.TraceBigData
+	case "prod":
+		kind = tetrium.TraceProduction
+	default:
+		return fmt.Errorf("unknown trace %q", *lgTrace)
+	}
+
+	fmt.Printf("loadgen: staged mode, stages %v, %d jobs/stage (%s), %d sites\n",
+		stages, *lgJobs, *lgTrace, cl.N())
+
+	type stageReport struct {
+		clients int
+		jobs    int
+		wall    time.Duration
+		q       []float64
+	}
+	var reports []stageReport
+	for si, nClients := range stages {
+		// A distinct seed per stage keeps the job mix varied while the
+		// whole run stays reproducible.
+		jobs := tetrium.GenerateTrace(kind, cl, *lgJobs, seed+int64(si)*1009)
+
+		work := make(chan *tetrium.Job)
+		type result struct {
+			id  int
+			err error
+		}
+		results := make(chan result, len(jobs))
+		var wg sync.WaitGroup
+		for c := 0; c < nClients; c++ {
+			wg.Add(1)
+			tenant := fmt.Sprintf("client-%d", c)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					j.Tenant = tenant
+					id, err := submitJob(client, base, j)
+					results <- result{id: id, err: err}
+				}
+			}()
+		}
+
+		start := time.Now()
+		interrupted := false
+	feed:
+		for _, j := range jobs {
+			select {
+			case work <- j:
+			case <-ctx.Done():
+				interrupted = true
+				break feed
+			}
+		}
+		close(work)
+		wg.Wait()
+		wall := time.Since(start)
+		close(results)
+
+		var ids []int
+		for r := range results {
+			if r.err != nil {
+				return fmt.Errorf("stage %d submit: %w", si+1, r.err)
+			}
+			ids = append(ids, r.id)
+		}
+		var latencies []float64
+		for _, id := range ids {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			ms, err := waitPlaced(ctx, client, base, id, *lgWait)
+			if err != nil {
+				if ctx.Err() != nil {
+					interrupted = true
+					break
+				}
+				return fmt.Errorf("stage %d job %d: %w", si+1, id, err)
+			}
+			latencies = append(latencies, ms)
+		}
+		if len(latencies) == 0 {
+			return fmt.Errorf("stage %d: interrupted before any job was placed", si+1)
+		}
+		q := metrics.Percentiles(latencies, 50, 95, 99)
+		reports = append(reports, stageReport{clients: nClients, jobs: len(latencies), wall: wall, q: q})
+		fmt.Printf("loadgen: stage %d/%d: %d clients, %d jobs placed in %.1fs\n",
+			si+1, len(stages), nClients, len(latencies), wall.Seconds())
+		if interrupted {
+			fmt.Println("loadgen: interrupted — reporting completed stages only")
+			break
+		}
+	}
+
+	fmt.Println("\nstage  clients  jobs  p50(ms)  p95(ms)  p99(ms)")
+	for i, r := range reports {
+		fmt.Printf("%5d  %7d  %4d  %7.2f  %7.2f  %7.2f\n",
+			i+1, r.clients, r.jobs, r.q[0], r.q[1], r.q[2])
+	}
+
+	return printAnalyticsSummary(client, base)
+}
+
+// printAnalyticsSummary fetches /v1/analytics/summary and prints the
+// per-tenant attribution table. A 404 means the server runs without
+// -analytics; that's reported, not fatal, so plain servers still work
+// with staged mode.
+func printAnalyticsSummary(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/analytics/summary")
+	if err != nil {
+		return fmt.Errorf("fetch analytics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Println("\nanalytics: server runs without -analytics; no per-tenant table")
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/analytics/summary: %s", resp.Status)
+	}
+	var snap fleet.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode analytics summary: %w", err)
+	}
+
+	fmt.Printf("\nanalytics: fleet totals: %d jobs done, %.3f slot-seconds, %.3f WAN bytes\n",
+		snap.Totals.Jobs, snap.Totals.SlotSeconds, snap.Totals.WANBytes)
+	fmt.Println("tenant           done  slot-sec  slot%   wan-bytes   wan%")
+	for _, t := range snap.ResourceHogs.Tenants {
+		fmt.Printf("%-15s  %4d  %8.3f  %5.1f  %10.3f  %5.1f\n",
+			t.Tenant, t.Done, t.SlotSeconds, t.SlotShare*100, t.WANBytes, t.WANShare*100)
+	}
+	if n := len(snap.EstimateAccuracy.Tenants); n > 0 {
+		o := snap.EstimateAccuracy.Overall
+		fmt.Printf("analytics: estimate error (rel): n=%d p50=%.3f p95=%.3f p99=%.3f\n",
+			o.Count, o.P50, o.P95, o.P99)
+	}
+	return nil
+}
+
+func parseStages() ([]int, error) {
+	if *lgStages == "" {
+		n := *lgClients
+		if n <= 0 {
+			n = 1
+		}
+		return []int{n}, nil
+	}
+	var stages []int
+	for _, part := range strings.Split(*lgStages, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -stages entry %q (want positive client counts, e.g. \"1,3,10\")", part)
+		}
+		stages = append(stages, n)
+	}
+	return stages, nil
+}

@@ -15,7 +15,8 @@
 //	POST /v1/cluster/update  §4.2 dynamics: {"sites":[{"site":0,"frac":0.4}]}
 //	GET  /metrics            Prometheus text format
 //	GET  /metrics.txt        native registry dump
-//	GET  /debug/events       JSONL event stream
+//	GET  /debug/events       JSONL event stream (?since=<seq> cursor pagination)
+//	GET  /v1/analytics/...   fleet analytics reports (with -analytics)
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while replaying the journal or draining)
 //
@@ -80,6 +81,10 @@ func main() {
 		speculate  = flag.Bool("speculate", false, "launch duplicates of straggling stages; first finish wins")
 		solveDL    = flag.Duration("solve-deadline", 0, "per-stage LP solve bound before greedy fallback (0: none)")
 
+		analytics   = flag.Bool("analytics", false, "enable the fleet-analytics store and /v1/analytics endpoints")
+		analyticsSP = flag.String("analytics-snap", "", "fleet store snapshot path (empty: no snapshots)")
+		analyticsSE = flag.Duration("analytics-snap-every", 0, "fleet store snapshot interval (0: 30s default)")
+
 		loadgen = flag.Bool("loadgen", false, "run as load generator against -target")
 		smoke   = flag.Bool("smoke", false, "run the in-process smoke check and exit")
 	)
@@ -131,6 +136,10 @@ func main() {
 		SnapshotEvery:  *snapEvery,
 		Speculate:      *speculate,
 		SolveDeadline:  *solveDL,
+
+		Analytics:              *analytics,
+		AnalyticsSnapshotPath:  *analyticsSP,
+		AnalyticsSnapshotEvery: *analyticsSE,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)

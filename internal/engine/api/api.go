@@ -3,10 +3,12 @@ package api
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
 	"tetrium/internal/engine"
+	"tetrium/internal/fleet"
 	"tetrium/internal/obs"
 )
 
@@ -106,6 +108,30 @@ func Handler(e *engine.Engine) http.Handler {
 		w.Write(body)
 	})
 	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		// Cursor pagination over the bounded ring: ?since=<seq> returns
+		// only events newer than seq (the i-th event ever emitted has
+		// sequence i+1). Pollers pass the Tetrium-Events-Next value of
+		// the previous response; Tetrium-Events-Missed reports requested
+		// events already discarded from the ring (the poller fell
+		// behind). Without ?since the full buffer is returned, with the
+		// legacy Tetrium-Events-Dropped count.
+		if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+			since, err := strconv.ParseInt(sinceStr, 10, 64)
+			if err != nil || since < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since cursor %q", sinceStr))
+				return
+			}
+			evs, next, missed, err := e.EventsSince(since)
+			if err != nil {
+				writeEngineErr(e, w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			w.Header().Set("Tetrium-Events-Next", strconv.FormatInt(next, 10))
+			w.Header().Set("Tetrium-Events-Missed", strconv.FormatInt(missed, 10))
+			obs.WriteJSONL(w, evs)
+			return
+		}
 		evs, dropped, err := e.Events()
 		if err != nil {
 			writeEngineErr(e, w, err)
@@ -115,6 +141,9 @@ func Handler(e *engine.Engine) http.Handler {
 		w.Header().Set("Tetrium-Events-Dropped", strconv.FormatInt(dropped, 10))
 		obs.WriteJSONL(w, evs)
 	})
+	if st, ok := e.Analytics().(*fleet.Store); ok && st != nil {
+		mux.Handle("/v1/analytics/", http.StripPrefix("/v1/analytics", fleet.Routes(st)))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness: the event loop answers at all. Readiness (accepting
 		// useful traffic) is /readyz's job.

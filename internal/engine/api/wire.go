@@ -27,7 +27,10 @@ import (
 // schema (internal/trace) so generated traces can be replayed against a
 // server verbatim, one job per request.
 type JobSpec struct {
-	Name   string      `json:"name"`
+	Name string `json:"name"`
+	// Tenant attributes the job for fleet analytics; empty means
+	// "default".
+	Tenant string      `json:"tenant,omitempty"`
 	Stages []StageSpec `json:"stages"`
 }
 
@@ -50,7 +53,7 @@ type TaskSpec struct {
 
 // ToWorkload converts the wire job to the engine's model.
 func (j *JobSpec) ToWorkload() (*workload.Job, error) {
-	job := &workload.Job{Name: j.Name}
+	job := &workload.Job{Name: j.Name, Tenant: j.Tenant}
 	for si, st := range j.Stages {
 		var kind workload.StageKind
 		switch st.Kind {
@@ -90,7 +93,7 @@ func (j *JobSpec) ToWorkload() (*workload.Job, error) {
 // FromWorkload converts a model job to the wire form — the loadgen path
 // for replaying generated traces over HTTP.
 func FromWorkload(j *workload.Job) *JobSpec {
-	spec := &JobSpec{Name: j.Name}
+	spec := &JobSpec{Name: j.Name, Tenant: j.Tenant}
 	for _, st := range j.Stages {
 		ws := StageSpec{
 			Kind:        st.Kind.String(),
@@ -120,6 +123,7 @@ type StageStatus struct {
 type JobStatus struct {
 	ID              int           `json:"id"`
 	Name            string        `json:"name"`
+	Tenant          string        `json:"tenant,omitempty"`
 	State           string        `json:"state"` // pending | running | done
 	StagesDone      int           `json:"stages_done"`
 	NumStages       int           `json:"num_stages"`
@@ -136,6 +140,7 @@ func jobStatus(st engine.JobStatus) JobStatus {
 	out := JobStatus{
 		ID:              st.ID,
 		Name:            st.Name,
+		Tenant:          st.Tenant,
 		State:           st.Phase.String(),
 		StagesDone:      st.StagesDone,
 		NumStages:       st.NumStages,

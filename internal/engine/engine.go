@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -136,6 +137,14 @@ type Config struct {
 	// re-dispatched with jittered backoff. Default 2; negative
 	// disables retries.
 	SolveRetries int
+
+	// Analytics, when non-nil, receives every emitted event (typically a
+	// *fleet.Store) for fleet-wide per-tenant attribution. Must be a
+	// concrete non-nil observer or left nil: the hot path guards on the
+	// interface alone, and a typed-nil observer would be called. When
+	// nil the event path does no extra work and allocates nothing new.
+	// If the observer also implements io.Closer, Close closes it.
+	Analytics obs.Observer
 }
 
 // Engine is a live scheduling service. Create with New; all methods are
@@ -294,7 +303,14 @@ func (e *Engine) Close() {
 	if j := e.cfg.Journal; j != nil {
 		j.Close()
 	}
+	if c, ok := e.cfg.Analytics.(io.Closer); ok {
+		c.Close()
+	}
 }
+
+// Analytics returns the configured analytics observer (nil when fleet
+// analytics is disabled). The API layer uses it to mount /v1/analytics.
+func (e *Engine) Analytics() obs.Observer { return e.cfg.Analytics }
 
 // Drain stops admission and waits until every admitted job has reached
 // a terminal state, or ctx expires.
@@ -498,4 +514,27 @@ func (e *Engine) Events() ([]obs.Event, int64, error) {
 		dropped = e.st.eventsDropped
 	})
 	return evs, dropped, err
+}
+
+// EventsSince returns the buffered events with sequence numbers greater
+// than since, where the i-th event ever emitted has sequence i+1 (so
+// since=0 asks for everything). It also returns next — the cursor to
+// pass on the following poll (the sequence of the newest event emitted
+// so far) — and missed, the count of requested events that were already
+// discarded from the bounded ring (0 when the poller kept up).
+func (e *Engine) EventsSince(since int64) (evs []obs.Event, next int64, missed int64, err error) {
+	err = e.do(func() {
+		dropped := e.st.eventsDropped
+		total := dropped + int64(len(e.st.events))
+		next = total
+		if since < dropped {
+			missed = dropped - since
+			since = dropped
+		}
+		if since >= total {
+			return
+		}
+		evs = append([]obs.Event(nil), e.st.events[since-dropped:]...)
+	})
+	return evs, next, missed, err
 }

@@ -63,6 +63,7 @@ func (s *state) applyFault(f fault.Fault) {
 			}
 			for _, sr := range js.stages {
 				if sr.specActive && sr.specSite == f.Site {
+					s.accrueSlots(sr)
 					s.cancelSpec(sr) // the duplicate died with the site
 				}
 				if sr.phase == stageRunning && sr.held[f.Site] > 0 {
@@ -103,6 +104,8 @@ func (s *state) applyFault(f fault.Fault) {
 // references a dead site), and the lost running tasks counted as
 // re-executed work.
 func (s *state) requeueStage(js *jobState, sr *stageRun, site int, t float64) {
+	s.accrueSlots(sr)
+	waste := sr.slotSec - sr.attemptSlot0
 	lost := sr.heldTotal
 	for x, h := range sr.held {
 		s.free[x] += h
@@ -116,7 +119,7 @@ func (s *state) requeueStage(js *jobState, sr *stageRun, site int, t float64) {
 	sr.attempt++
 	s.cancelSpec(sr)
 	s.rec.Registry().Counter("engine.tasks_reexecuted").Add(float64(lost))
-	s.emit(obs.StageRequeue{T: t, Job: js.id, Stage: sr.idx, Site: site, Tasks: lost})
+	s.emit(obs.StageRequeue{T: t, Job: js.id, Stage: sr.idx, Site: site, Tasks: lost, SlotSeconds: waste})
 }
 
 // Straggler speculation -------------------------------------------------------
@@ -190,6 +193,8 @@ func (s *state) specCheck(js *jobState, sr *stageRun, gen int) {
 		})
 		return
 	}
+	// Accrue at the pre-duplicate holding level before the level rises.
+	s.accrueSlots(sr)
 	slots := minInt(s.free[best], maxInt(sr.heldTotal, 1))
 	s.free[best] -= slots
 	sr.specActive = true
@@ -329,7 +334,7 @@ func (s *state) restore(rs *journal.State) {
 		// Completed jobs come back as terminal records only — visible in
 		// listings and the final report, never rescheduled.
 		js := &jobState{
-			id: dj.ID, name: dj.Name, phase: JobDone,
+			id: dj.ID, name: dj.Name, tenant: dj.Tenant, phase: JobDone,
 			stagesDone: dj.Stages, numStages: dj.Stages,
 			submitted: time.UnixMilli(dj.SubmittedMs),
 			finished:  time.UnixMilli(dj.FinishedMs),
@@ -357,6 +362,7 @@ func (s *state) admitRestored(lj journal.LiveJob) {
 	js := &jobState{
 		id:        lj.ID,
 		name:      lj.Spec.Name,
+		tenant:    lj.Tenant,
 		spec:      lj.Spec,
 		submitted: time.UnixMilli(lj.SubmittedMs),
 		journaled: true, // its admit record is already durable
@@ -377,7 +383,7 @@ func (s *state) admitRestored(lj journal.LiveJob) {
 	s.activeCount++
 	s.rec.Registry().Gauge("engine.pending").Set(float64(s.activeCount))
 	t := s.now()
-	s.emit(obs.JobArrival{T: t, Job: js.id, Name: js.name, Stages: len(js.stages), Tasks: total})
+	s.emit(obs.JobArrival{T: t, Job: js.id, Name: js.name, Tenant: js.tenant, Stages: len(js.stages), Tasks: total})
 	for _, sr := range js.stages {
 		if sr.phase == stageReady {
 			s.emit(obs.StageReady{T: t, Job: js.id, Stage: sr.idx, Tasks: len(sr.spec.Tasks)})

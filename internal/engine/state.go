@@ -74,6 +74,7 @@ type StageStatus struct {
 type JobStatus struct {
 	ID         int
 	Name       string
+	Tenant     string
 	Phase      JobPhase
 	StagesDone int
 	NumStages  int
@@ -119,6 +120,7 @@ type SiteUpdate struct {
 type jobState struct {
 	id         int
 	name       string
+	tenant     string // attribution key; never empty ("default" fallback)
 	spec       *workload.Job
 	phase      JobPhase
 	stages     []*stageRun
@@ -152,6 +154,15 @@ type stageRun struct {
 	held      []int // slots held per site while running
 	heldTotal int
 	gen       int // invalidates stale completion timers
+
+	// Slot-second accounting (fleet analytics). slotSec integrates
+	// (held + speculative) slots over wall time, cumulative across
+	// attempts; slotT0 marks when the current holding level began;
+	// attemptSlot0 is slotSec at the current attempt's launch, so a
+	// crash requeue can report the dead attempt's waste.
+	slotSec      float64
+	slotT0       float64
+	attemptSlot0 float64
 
 	// Failure domain (failure.go).
 	attempt    int           // execution attempt; bumped on crash requeue
@@ -227,10 +238,11 @@ func newState(e *Engine) *state {
 
 func (s *state) now() float64 { return s.e.now() }
 
-// emit feeds the metrics registry (via the Recorder) and the bounded
-// debug buffer.
+// emit feeds the metrics registry (via the Recorder), the fleet
+// analytics store when configured, and the bounded debug buffer.
 func (s *state) emit(ev obs.Event) {
 	s.rec.Emit(ev)
+	s.forwardAnalytics(ev)
 	if cap := s.e.cfg.EventCap; len(s.events) >= cap {
 		drop := cap/4 + 1
 		if drop > len(s.events) {
@@ -241,6 +253,31 @@ func (s *state) emit(ev obs.Event) {
 		s.eventsDropped += int64(drop)
 	}
 	s.events = append(s.events, ev)
+}
+
+// forwardAnalytics hands an already-boxed event to the fleet store.
+// Kept as its own method so the alloc-guard test can pin the disabled
+// path at zero allocations (one nil interface check, nothing built).
+func (s *state) forwardAnalytics(ev obs.Event) {
+	if f := s.e.cfg.Analytics; f != nil {
+		f.Emit(ev)
+	}
+}
+
+// accrueSlots folds the elapsed slot-holding interval of a running
+// stage into its cumulative slot-second counter. Called before any
+// transition that changes how many slots the stage holds.
+func (s *state) accrueSlots(sr *stageRun) {
+	if sr.phase != stageRunning {
+		return
+	}
+	now := s.now()
+	held := sr.heldTotal
+	if sr.specActive {
+		held += sr.specSlots
+	}
+	sr.slotSec += float64(held) * (now - sr.slotT0)
+	sr.slotT0 = now
 }
 
 // scheduleSoon queues one coalesced scheduling pass on the todo queue.
@@ -266,11 +303,15 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 		return 0, ErrQueueFull
 	}
 	id := s.nextID
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
 	if j := s.e.cfg.Journal; j != nil {
 		// The admission is durable before it is acknowledged: a journal
 		// write failure rejects the job rather than accepting work a
 		// restart would silently lose.
-		if err := j.Admit(id, time.Now().UnixMilli(), spec); err != nil {
+		if err := j.Admit(id, time.Now().UnixMilli(), tenant, spec); err != nil {
 			s.rec.Registry().Counter("engine.journal_errors").Inc()
 			return 0, err
 		}
@@ -279,6 +320,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 	js := &jobState{
 		id:        id,
 		name:      spec.Name,
+		tenant:    tenant,
 		spec:      spec,
 		submitted: time.Now(),
 	}
@@ -298,7 +340,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 	s.activeCount++
 	s.rec.Registry().Gauge("engine.pending").Set(float64(s.activeCount))
 	t := s.now()
-	s.emit(obs.JobArrival{T: t, Job: id, Name: js.name, Stages: len(js.stages), Tasks: total})
+	s.emit(obs.JobArrival{T: t, Job: id, Name: js.name, Tenant: js.tenant, Stages: len(js.stages), Tasks: total})
 	for _, sr := range js.stages {
 		if sr.phase == stageReady {
 			s.emit(obs.StageReady{T: t, Job: id, Stage: sr.idx, Tasks: len(sr.spec.Tasks)})
@@ -716,7 +758,20 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 	}
 	wall := time.Duration(dur * s.e.cfg.TimeScale * float64(time.Second))
 	sr.launchedAt = s.now()
+	sr.slotT0 = sr.launchedAt
+	sr.attemptSlot0 = sr.slotSec
 	sr.expectWall = wall
+	if s.e.cfg.Analytics != nil {
+		// Gated on analytics: the event (and its per-site copy) exists
+		// for windowed usage attribution only, and building it on every
+		// launch would put allocations back on the no-analytics path.
+		s.emit(obs.StageLaunch{
+			T: sr.launchedAt, Job: js.id, Stage: sr.idx,
+			Tasks: len(sr.spec.Tasks), Slots: total,
+			SlotsBySite: append([]int(nil), alloc...),
+			Est:         sr.est, WANBytes: sr.wan,
+		})
+	}
 	if wall > 0 {
 		// Injected straggle: this stage attempt runs factor× slower than
 		// its estimate (a fresh attempt after a crash requeue is a fresh
@@ -787,6 +842,7 @@ func (s *state) stageFinished(js *jobState, sr *stageRun, gen int, byCopy bool) 
 	if sr.phase != stageRunning || sr.gen != gen {
 		return
 	}
+	s.accrueSlots(sr)
 	if !byCopy {
 		s.observeStageRatio(sr)
 	}
@@ -822,7 +878,7 @@ func (s *state) stageFinished(js *jobState, sr *stageRun, gen int, byCopy bool) 
 	if byCopy {
 		s.rec.Registry().Counter("engine.stages_rescued").Inc()
 	}
-	s.emit(obs.StageDone{T: t, Job: js.id, Stage: sr.idx, Rescued: byCopy})
+	s.emit(obs.StageDone{T: t, Job: js.id, Stage: sr.idx, Rescued: byCopy, SlotSeconds: sr.slotSec})
 	js.stagesDone++
 	js.remTasks -= len(sr.spec.Tasks)
 	if js.stagesDone == len(js.stages) {
@@ -871,7 +927,7 @@ func (s *state) finishJob(js *jobState, t float64) {
 		WANBytes: js.wanBytes,
 	})
 	if j := s.e.cfg.Journal; j != nil && !s.restoring {
-		if err := j.Done(js.id, js.finished.UnixMilli(), js.name, js.numStages, js.wanBytes); err != nil {
+		if err := j.Done(js.id, js.finished.UnixMilli(), js.tenant, js.name, js.numStages, js.wanBytes); err != nil {
 			s.rec.Registry().Counter("engine.journal_errors").Inc()
 		}
 	}
@@ -946,7 +1002,10 @@ func (s *state) replaceAll() int {
 				sr.tasks = dynamics.Reassign(old, sr.tasks, k)
 			}
 			if sr.phase == stageRunning {
-				// Migrate held slots toward the adjusted assignment.
+				// Migrate held slots toward the adjusted assignment. The
+				// old holding level accrues first so slot-second
+				// attribution stays exact across the migration.
+				s.accrueSlots(sr)
 				for x, h := range sr.held {
 					s.free[x] += h
 				}
@@ -969,6 +1028,7 @@ func (s *state) snapshot(js *jobState, detail bool) JobStatus {
 	st := JobStatus{
 		ID:         js.id,
 		Name:       js.name,
+		Tenant:     js.tenant,
 		Phase:      js.phase,
 		StagesDone: js.stagesDone,
 		NumStages:  js.numStages,

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tetrium/internal/obs"
+)
+
+// DecodeJSONL streams an obs JSONL export (`{"k":"<kind>","e":{...}}`
+// per line, as written by obs.WriteJSONL and served by /debug/events),
+// calling fn for each decoded event in file order. Unknown kinds are
+// skipped (forward compatibility); a torn final line — the write in
+// flight when a process died — is dropped silently, matching the
+// journal's replay semantics. Returns the number of events decoded.
+func DecodeJSONL(r io.Reader, fn func(obs.Event)) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	lastLine := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env struct {
+			K string          `json:"k"`
+			E json.RawMessage `json:"e"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			lastLine = true
+			continue
+		}
+		if lastLine {
+			// A malformed line mid-file is corruption, not a torn tail.
+			return n, fmt.Errorf("fleet: malformed JSONL line mid-stream")
+		}
+		ev, err := decodeEvent(env.K, env.E)
+		if err != nil {
+			return n, fmt.Errorf("fleet: event %q: %w", env.K, err)
+		}
+		if ev != nil {
+			fn(ev)
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// IngestJSONL feeds every event of an exported trace into the store.
+func (s *Store) IngestJSONL(r io.Reader) (int, error) {
+	return DecodeJSONL(r, s.Emit)
+}
+
+// decodeEvent maps a kind tag back to its concrete obs event. Kinds the
+// store has no use for still decode (callers may want the full stream);
+// unknown kinds return (nil, nil).
+func decodeEvent(kind string, raw json.RawMessage) (obs.Event, error) {
+	switch kind {
+	case "job_arrival":
+		var e obs.JobArrival
+		return unmarshalAs(raw, &e)
+	case "job_done":
+		var e obs.JobDone
+		return unmarshalAs(raw, &e)
+	case "stage_ready":
+		var e obs.StageReady
+		return unmarshalAs(raw, &e)
+	case "stage_done":
+		var e obs.StageDone
+		return unmarshalAs(raw, &e)
+	case "stage_launch":
+		var e obs.StageLaunch
+		return unmarshalAs(raw, &e)
+	case "sched_instance":
+		var e obs.SchedInstance
+		return unmarshalAs(raw, &e)
+	case "placement":
+		var e obs.Placement
+		return unmarshalAs(raw, &e)
+	case "task_launch":
+		var e obs.TaskLaunch
+		return unmarshalAs(raw, &e)
+	case "task_start":
+		var e obs.TaskStart
+		return unmarshalAs(raw, &e)
+	case "task_done":
+		var e obs.TaskDone
+		return unmarshalAs(raw, &e)
+	case "flow_start":
+		var e obs.FlowStart
+		return unmarshalAs(raw, &e)
+	case "flow_done":
+		var e obs.FlowDone
+		return unmarshalAs(raw, &e)
+	case "drop":
+		var e obs.DropEvent
+		return unmarshalAs(raw, &e)
+	case "fault":
+		var e obs.Fault
+		return unmarshalAs(raw, &e)
+	case "stage_requeue":
+		var e obs.StageRequeue
+		return unmarshalAs(raw, &e)
+	case "stage_speculate":
+		var e obs.StageSpeculate
+		return unmarshalAs(raw, &e)
+	default:
+		return nil, nil
+	}
+}
+
+func unmarshalAs[E obs.Event](raw json.RawMessage, e *E) (obs.Event, error) {
+	if err := json.Unmarshal(raw, e); err != nil {
+		return nil, err
+	}
+	return *e, nil
+}

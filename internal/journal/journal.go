@@ -41,6 +41,10 @@ type record struct {
 	// admit
 	Spec *workload.Job `json:"spec,omitempty"`
 	Name string        `json:"name,omitempty"`
+	// Tenant attributes the job for fleet analytics (admit and done
+	// records). Absent in journals written before the field existed;
+	// replay defaults it to "default".
+	Tenant string `json:"tenant,omitempty"`
 
 	// place
 	Stage int `json:"stage,omitempty"`
@@ -57,6 +61,7 @@ type record struct {
 // the Placed marker only).
 type LiveJob struct {
 	ID          int
+	Tenant      string
 	SubmittedMs int64
 	Placed      bool // at least one stage had a placement decision
 	Spec        *workload.Job
@@ -66,6 +71,7 @@ type LiveJob struct {
 type DoneJob struct {
 	ID          int
 	Name        string
+	Tenant      string
 	Stages      int
 	SubmittedMs int64
 	FinishedMs  int64
@@ -126,8 +132,9 @@ func Open(path string, snapEvery int) (*Journal, *State, error) {
 
 // Admit journals a job admission. It must return before the admission
 // is acknowledged to the client: an error rejects the submission.
-func (j *Journal) Admit(id int, nowMs int64, spec *workload.Job) error {
-	return j.append(record{K: "admit", ID: id, T: nowMs, Spec: spec, Name: spec.Name})
+// tenant may be empty; replay normalizes it to "default".
+func (j *Journal) Admit(id int, nowMs int64, tenant string, spec *workload.Job) error {
+	return j.append(record{K: "admit", ID: id, T: nowMs, Tenant: tenant, Spec: spec, Name: spec.Name})
 }
 
 // Place journals a placement decision for one stage of a live job.
@@ -135,9 +142,10 @@ func (j *Journal) Place(id, stage int, nowMs int64) error {
 	return j.append(record{K: "place", ID: id, Stage: stage, T: nowMs})
 }
 
-// Done journals a job completion.
-func (j *Journal) Done(id int, nowMs int64, name string, stages int, wanBytes float64) error {
-	return j.append(record{K: "done", ID: id, T: nowMs, Name: name, Stages: stages, WANBytes: wanBytes})
+// Done journals a job completion. tenant may be empty; replay
+// normalizes it to "default".
+func (j *Journal) Done(id int, nowMs int64, tenant, name string, stages int, wanBytes float64) error {
+	return j.append(record{K: "done", ID: id, T: nowMs, Tenant: tenant, Name: name, Stages: stages, WANBytes: wanBytes})
 }
 
 // Close snapshots the final state and closes the file.
@@ -183,22 +191,56 @@ func (j *Journal) apply(rec record) {
 		if _, isDone := j.done[rec.ID]; isDone {
 			return
 		}
-		j.live[rec.ID] = &LiveJob{ID: rec.ID, SubmittedMs: rec.T, Spec: rec.Spec}
+		j.live[rec.ID] = &LiveJob{ID: rec.ID, Tenant: tenantOr(rec.Tenant), SubmittedMs: rec.T, Spec: rec.Spec}
 	case "place":
 		if lj, ok := j.live[rec.ID]; ok {
 			lj.Placed = true
 		}
 	case "done":
 		submitted := rec.T
+		tenant := tenantOr(rec.Tenant)
 		if lj, ok := j.live[rec.ID]; ok {
 			submitted = lj.SubmittedMs
+			if rec.Tenant == "" {
+				// Pre-tenant done records inherit the admit's attribution.
+				tenant = lj.Tenant
+			}
 			delete(j.live, rec.ID)
 		}
 		j.done[rec.ID] = &DoneJob{
-			ID: rec.ID, Name: rec.Name, Stages: rec.Stages,
+			ID: rec.ID, Name: rec.Name, Tenant: tenant, Stages: rec.Stages,
 			SubmittedMs: submitted, FinishedMs: rec.T, WANBytes: rec.WANBytes,
 		}
 	}
+}
+
+// tenantOr normalizes a possibly-absent journaled tenant: journals
+// written before the field existed replay as the default tenant.
+func tenantOr(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// ReadFile recovers journal state read-only — snapshot at path+".snap"
+// (if present) plus the journal tail — without opening the file for
+// appending or mutating anything on disk. Offline consumers
+// (cmd/tetrium-fleet) use it to ingest a serve run's journal while the
+// engine may still own the live file.
+func ReadFile(path string) (*State, error) {
+	j := &Journal{
+		path: path,
+		live: make(map[int]*LiveJob),
+		done: make(map[int]*DoneJob),
+	}
+	if err := j.loadSnapshot(); err != nil {
+		return nil, fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := j.replayTail(); err != nil {
+		return nil, fmt.Errorf("journal: replay: %w", err)
+	}
+	return j.state(), nil
 }
 
 func (j *Journal) state() *State {

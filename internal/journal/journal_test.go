@@ -24,16 +24,16 @@ func TestRoundTrip(t *testing.T) {
 	if st.NextID != 0 || len(st.Live) != 0 || len(st.Done) != 0 {
 		t.Fatalf("fresh state = %+v, want empty", st)
 	}
-	if err := j.Admit(0, 100, sampleJob("a")); err != nil {
+	if err := j.Admit(0, 100, "acme", sampleJob("a")); err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
-	if err := j.Admit(1, 110, sampleJob("b")); err != nil {
+	if err := j.Admit(1, 110, "", sampleJob("b")); err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
 	if err := j.Place(0, 0, 120); err != nil {
 		t.Fatalf("Place: %v", err)
 	}
-	if err := j.Done(0, 130, "a", 1, 42); err != nil {
+	if err := j.Done(0, 130, "acme", "a", 1, 42); err != nil {
 		t.Fatalf("Done: %v", err)
 	}
 	// No Close: simulate a hard kill by just reopening the files.
@@ -54,6 +54,68 @@ func TestRoundTrip(t *testing.T) {
 	if st2.Live[0].Spec == nil || st2.Live[0].Spec.Name != "b" {
 		t.Errorf("live spec not recovered: %+v", st2.Live[0].Spec)
 	}
+	if st2.Done[0].Tenant != "acme" {
+		t.Errorf("done tenant = %q, want acme", st2.Done[0].Tenant)
+	}
+	if st2.Live[0].Tenant != "default" {
+		t.Errorf("empty admit tenant = %q, want default", st2.Live[0].Tenant)
+	}
+}
+
+// TestPreTenantFixtureReplay replays a journal written before the
+// Tenant field existed (checked-in fixture): every record must recover
+// with tenant "default" and otherwise identical state.
+func TestPreTenantFixtureReplay(t *testing.T) {
+	st, err := ReadFile(filepath.Join("testdata", "pre_tenant.journal"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if st.NextID != 3 {
+		t.Errorf("NextID = %d, want 3", st.NextID)
+	}
+	if len(st.Done) != 1 || st.Done[0].ID != 0 || st.Done[0].Tenant != "default" ||
+		st.Done[0].WANBytes != 42 || st.Done[0].SubmittedMs != 100 || st.Done[0].FinishedMs != 130 {
+		t.Errorf("Done = %+v, want job 0 tenant default wan 42", st.Done)
+	}
+	if len(st.Live) != 2 {
+		t.Fatalf("Live = %+v, want 2 jobs", st.Live)
+	}
+	for _, lj := range st.Live {
+		if lj.Tenant != "default" {
+			t.Errorf("live job %d tenant = %q, want default", lj.ID, lj.Tenant)
+		}
+	}
+	if !st.Live[0].Placed || st.Live[1].Placed {
+		t.Errorf("Placed flags = %v/%v, want true/false", st.Live[0].Placed, st.Live[1].Placed)
+	}
+}
+
+// TestReadFileDoesNotMutate checks the offline reader leaves the
+// journal byte-identical (the engine may still own the live file).
+func TestReadFileDoesNotMutate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eng.journal")
+	j, _, err := Open(path, 1024)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := j.Admit(0, 1, "acme", sampleJob("a")); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	before, _ := os.ReadFile(path)
+	st, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(st.Live) != 1 || st.Live[0].Tenant != "acme" {
+		t.Errorf("Live = %+v, want one acme job", st.Live)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("ReadFile mutated the journal")
+	}
+	if _, err := os.Stat(path + ".snap"); !os.IsNotExist(err) {
+		t.Error("ReadFile wrote a snapshot")
+	}
 }
 
 func TestSnapshotTruncates(t *testing.T) {
@@ -63,10 +125,10 @@ func TestSnapshotTruncates(t *testing.T) {
 		t.Fatalf("Open: %v", err)
 	}
 	for id := 0; id < 10; id++ {
-		if err := j.Admit(id, int64(id), sampleJob("x")); err != nil {
+		if err := j.Admit(id, int64(id), "t1", sampleJob("x")); err != nil {
 			t.Fatalf("Admit %d: %v", id, err)
 		}
-		if err := j.Done(id, int64(id)+1, "x", 1, 0); err != nil {
+		if err := j.Done(id, int64(id)+1, "t1", "x", 1, 0); err != nil {
 			t.Fatalf("Done %d: %v", id, err)
 		}
 	}
@@ -97,7 +159,7 @@ func TestTornFinalLineDropped(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if err := j.Admit(0, 1, sampleJob("a")); err != nil {
+	if err := j.Admit(0, 1, "", sampleJob("a")); err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
 	// Simulate a write torn mid-record by the kill.
@@ -125,10 +187,10 @@ func TestIdempotentReplayAfterSnapshotCrash(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if err := j.Admit(0, 1, sampleJob("a")); err != nil {
+	if err := j.Admit(0, 1, "", sampleJob("a")); err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
-	if err := j.Done(0, 2, "a", 1, 7); err != nil {
+	if err := j.Done(0, 2, "", "a", 1, 7); err != nil {
 		t.Fatalf("Done: %v", err)
 	}
 	// Force the snapshot but keep the journal contents (undo truncate by

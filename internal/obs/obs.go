@@ -36,11 +36,14 @@ type Observer interface {
 }
 
 // JobArrival marks a job entering the system (§3 intro: arrivals
-// trigger scheduling instances).
+// trigger scheduling instances). Tenant is the submitting tenant (the
+// fleet-analytics attribution key); the simulator leaves it empty, the
+// serving engine stamps "default" when the submission named none.
 type JobArrival struct {
 	T      float64 `json:"t"`
 	Job    int     `json:"job"`
 	Name   string  `json:"name"`
+	Tenant string  `json:"tenant,omitempty"`
 	Stages int     `json:"stages"`
 	Tasks  int     `json:"tasks"`
 }
@@ -65,12 +68,33 @@ type StageReady struct {
 
 // StageDone marks a stage's last task completing — the "actual" side of
 // the estimate-vs-actual join. Rescued marks a stage finished by a
-// speculative copy that beat the straggling original.
+// speculative copy that beat the straggling original. SlotSeconds is
+// the stage's cumulative slot consumption (slots held × wall seconds,
+// across every attempt and speculative duplicate); the serving engine
+// stamps it for fleet-analytics attribution, the simulator leaves it
+// zero.
 type StageDone struct {
-	T       float64 `json:"t"`
-	Job     int     `json:"job"`
-	Stage   int     `json:"stage"`
-	Rescued bool    `json:"rescued,omitempty"`
+	T           float64 `json:"t"`
+	Job         int     `json:"job"`
+	Stage       int     `json:"stage"`
+	Rescued     bool    `json:"rescued,omitempty"`
+	SlotSeconds float64 `json:"slot_seconds,omitempty"`
+}
+
+// StageLaunch marks a stage's tasks taking their slots on the serving
+// engine (the sim's finer-grained equivalent is TaskLaunch). Emitted
+// only when fleet analytics is enabled — it exists to let the analytics
+// store track windowed per-site slot usage, and gating it keeps the
+// no-analytics event path allocation-free.
+type StageLaunch struct {
+	T           float64 `json:"t"`
+	Job         int     `json:"job"`
+	Stage       int     `json:"stage"`
+	Tasks       int     `json:"tasks"`
+	Slots       int     `json:"slots"`
+	SlotsBySite []int   `json:"slots_by_site"`
+	Est         float64 `json:"est"`
+	WANBytes    float64 `json:"wan_bytes,omitempty"` // cross-site bytes the placement moves
 }
 
 // SchedInstance summarizes one scheduling instance (§3 intro): which
@@ -199,12 +223,15 @@ type Fault struct {
 
 // StageRequeue marks a running stage pulled back to the ready queue
 // because its site crashed; its tasks will re-execute elsewhere.
+// SlotSeconds is the slot time the dead attempt consumed — re-execution
+// waste, attributed to the job's tenant by fleet analytics.
 type StageRequeue struct {
-	T     float64 `json:"t"`
-	Job   int     `json:"job"`
-	Stage int     `json:"stage"`
-	Site  int     `json:"site"` // crashed site the stage held slots on
-	Tasks int     `json:"tasks"`
+	T           float64 `json:"t"`
+	Job         int     `json:"job"`
+	Stage       int     `json:"stage"`
+	Site        int     `json:"site"` // crashed site the stage held slots on
+	Tasks       int     `json:"tasks"`
+	SlotSeconds float64 `json:"slot_seconds,omitempty"`
 }
 
 // StageSpeculate marks speculative duplicates launched for a straggling
@@ -221,6 +248,7 @@ func (e JobArrival) Kind() string     { return "job_arrival" }
 func (e JobDone) Kind() string        { return "job_done" }
 func (e StageReady) Kind() string     { return "stage_ready" }
 func (e StageDone) Kind() string      { return "stage_done" }
+func (e StageLaunch) Kind() string    { return "stage_launch" }
 func (e SchedInstance) Kind() string  { return "sched_instance" }
 func (e Placement) Kind() string      { return "placement" }
 func (e TaskLaunch) Kind() string     { return "task_launch" }
@@ -237,6 +265,7 @@ func (e JobArrival) Time() float64     { return e.T }
 func (e JobDone) Time() float64        { return e.T }
 func (e StageReady) Time() float64     { return e.T }
 func (e StageDone) Time() float64      { return e.T }
+func (e StageLaunch) Time() float64    { return e.T }
 func (e SchedInstance) Time() float64  { return e.T }
 func (e Placement) Time() float64      { return e.T }
 func (e TaskLaunch) Time() float64     { return e.T }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -12,8 +13,10 @@ import (
 // Counters and gauges map directly; histograms are exposed as summaries
 // with 0.5/0.95/0.99 quantiles plus _sum and _count (quantiles are exact
 // — the registry keeps raw samples); series are exposed as gauges
-// holding their latest value. Output is sorted by kind then name, so it
-// is deterministic.
+// holding their latest value. Metrics with a registered help string
+// (SetHelp) get a "# HELP" line immediately before their "# TYPE" line,
+// per the format's required ordering. Output is sorted by kind then
+// name, so it is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer, namespace string) (int64, error) {
 	var n int64
 	pr := func(format string, args ...interface{}) error {
@@ -21,14 +24,30 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) (int64, error)
 		n += int64(k)
 		return err
 	}
+	// help emits the optional "# HELP" line. The format requires HELP to
+	// precede TYPE for the same metric family, so every family header
+	// below calls this first.
+	help := func(name, pn string) error {
+		h, ok := r.help[name]
+		if !ok {
+			return nil
+		}
+		return pr("# HELP %s %s\n", pn, promHelpEscape(h))
+	}
 	for _, name := range sortedKeys(r.counters) {
 		pn := promName(namespace, name)
+		if err := help(name, pn); err != nil {
+			return n, err
+		}
 		if err := pr("# TYPE %s counter\n%s %s\n", pn, pn, promVal(r.counters[name].Value())); err != nil {
 			return n, err
 		}
 	}
 	for _, name := range sortedKeys(r.gauges) {
 		pn := promName(namespace, name)
+		if err := help(name, pn); err != nil {
+			return n, err
+		}
 		if err := pr("# TYPE %s gauge\n%s %s\n", pn, pn, promVal(r.gauges[name].Value())); err != nil {
 			return n, err
 		}
@@ -37,11 +56,14 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) (int64, error)
 		h := r.hists[name]
 		pn := promName(namespace, name)
 		q := h.Quantiles(50, 95, 99)
+		if err := help(name, pn); err != nil {
+			return n, err
+		}
 		if err := pr("# TYPE %s summary\n", pn); err != nil {
 			return n, err
 		}
 		for i, p := range []string{"0.5", "0.95", "0.99"} {
-			if err := pr("%s{quantile=%q} %s\n", pn, p, promVal(q[i])); err != nil {
+			if err := pr("%s{quantile=\"%s\"} %s\n", pn, promLabelEscape(p), promVal(q[i])); err != nil {
 				return n, err
 			}
 		}
@@ -56,6 +78,9 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) (int64, error)
 			_, last = s.At(s.Len() - 1)
 		}
 		pn := promName(namespace, name)
+		if err := help(name, pn); err != nil {
+			return n, err
+		}
 		if err := pr("# TYPE %s gauge\n%s %s\n", pn, pn, promVal(last)); err != nil {
 			return n, err
 		}
@@ -83,6 +108,21 @@ func promName(namespace, name string) string {
 		}
 	}
 	return string(out)
+}
+
+// promHelpEscape escapes a HELP docstring per the exposition format:
+// backslash and newline only (double quotes are NOT escaped in HELP).
+func promHelpEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabelEscape escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func promLabelEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // promVal formats a sample value; Prometheus spells special values

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -65,6 +66,105 @@ func TestPromName(t *testing.T) {
 	}
 	if got := promName("", "9abc"); got != "_abc" {
 		t.Errorf("leading digit not sanitized: %q", got)
+	}
+}
+
+// TestWritePrometheusConformance checks the exposition-format rules
+// the smoke test above doesn't: HELP-before-TYPE ordering, HELP and
+// label escaping, metric-name charset, and line-level well-formedness
+// of every emitted line.
+func TestWritePrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird-name.9x").Add(1)
+	r.SetHelp("weird-name.9x", "back\\slash and\nnewline \"quoted\"")
+	r.Counter("plain").Add(2)
+	r.Gauge("g1").Set(1)
+	r.SetHelp("g1", "a gauge")
+	h := r.Histogram("h1", 1, 2, 4)
+	h.Observe(3)
+	r.SetHelp("h1", "a summary")
+
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb, "ns"); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+
+	// Rule: every line is a comment or "name[{labels}] value"; names
+	// match [a-zA-Z_:][a-zA-Z0-9_:]*.
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"(?:,[^}]*)?\})? \S+$`)
+	typeSeen := map[string]bool{}
+	helpSeen := map[string]bool{}
+	for _, ln := range lines {
+		if ln == "" {
+			t.Errorf("blank line in exposition output")
+			continue
+		}
+		if f := strings.Fields(ln); strings.HasPrefix(ln, "# TYPE ") {
+			if len(f) != 4 || !nameRe.MatchString(f[2]) {
+				t.Errorf("malformed TYPE line %q", ln)
+				continue
+			}
+			switch f[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Errorf("invalid TYPE %q in %q", f[3], ln)
+			}
+			if typeSeen[f[2]] {
+				t.Errorf("duplicate TYPE line for %s", f[2])
+			}
+			typeSeen[f[2]] = true
+			// HELP must come before TYPE when both exist — a HELP after
+			// this point would be a violation, caught below.
+			continue
+		} else if strings.HasPrefix(ln, "# HELP ") {
+			if len(f) < 3 || !nameRe.MatchString(f[2]) {
+				t.Errorf("malformed HELP line %q", ln)
+				continue
+			}
+			if typeSeen[f[2]] {
+				t.Errorf("HELP for %s appears after its TYPE line", f[2])
+			}
+			if helpSeen[f[2]] {
+				t.Errorf("duplicate HELP line for %s", f[2])
+			}
+			helpSeen[f[2]] = true
+			rest := strings.TrimPrefix(ln, "# HELP "+f[2]+" ")
+			if strings.ContainsAny(rest, "\n") {
+				t.Errorf("unescaped newline in HELP %q", ln)
+			}
+			continue
+		}
+		if !sampleRe.MatchString(ln) {
+			t.Errorf("malformed sample line %q", ln)
+		}
+	}
+
+	// The weird metric name is sanitized, its HELP escaped, and HELP
+	// precedes TYPE contiguously.
+	want := "# HELP ns_weird_name_9x back\\\\slash and\\nnewline \"quoted\"\n" +
+		"# TYPE ns_weird_name_9x counter\nns_weird_name_9x 1\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("missing escaped HELP block:\nwant %q\nin:\n%s", want, out)
+	}
+	// A metric without SetHelp gets no HELP line.
+	if strings.Contains(out, "# HELP ns_plain") {
+		t.Error("HELP emitted for metric with no help string")
+	}
+	// Summary quantile labels present and properly quoted.
+	if !strings.Contains(out, `ns_h1{quantile="0.5"}`) {
+		t.Errorf("summary quantile sample missing:\n%s", out)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	if got := promHelpEscape(`a\b` + "\n" + `c"d`); got != `a\\b\nc"d` {
+		t.Errorf("promHelpEscape = %q (HELP must escape \\ and newline, not quotes)", got)
+	}
+	if got := promLabelEscape(`a\b` + "\n" + `c"d`); got != `a\\b\nc\"d` {
+		t.Errorf("promLabelEscape = %q (labels must escape \\, newline, and quotes)", got)
 	}
 }
 

@@ -53,7 +53,7 @@ type stageTrack struct {
 // NewRecorder returns an empty Recorder ready to pass as the
 // simulation's Observer.
 func NewRecorder() *Recorder {
-	return &Recorder{
+	r := &Recorder{
 		KeepEvents: true,
 		reg:        NewRegistry(),
 		busy:       make(map[int]int),
@@ -61,6 +61,22 @@ func NewRecorder() *Recorder {
 		open:       make(map[attemptKey]TaskLaunch),
 		started:    make(map[attemptKey]float64),
 	}
+	// Help docstrings for the core families, surfaced as "# HELP" lines
+	// in the Prometheus exposition.
+	for name, help := range map[string]string{
+		"jobs.arrived":    "Jobs admitted to the scheduler.",
+		"jobs.done":       "Jobs whose last stage completed.",
+		"jobs.active":     "Jobs admitted but not yet done.",
+		"lp.solves":       "Placement LP solves executed.",
+		"lp.cache_hits":   "Placements served from the memo cache.",
+		"wan.bytes":       "Cross-site bytes moved by placements.",
+		"tasks.rescued":   "Straggling tasks finished by a speculative copy.",
+		"job.response_s":  "Job response time (arrival to last stage done), seconds.",
+		"stages.launched": "Stages whose tasks took slots (serving engine).",
+	} {
+		r.reg.SetHelp(name, help)
+	}
+	return r
 }
 
 // Events returns the retained event stream in emission order.
@@ -149,6 +165,9 @@ func (r *Recorder) Emit(ev Event) {
 		if tr, ok := r.stages[k]; ok {
 			tr.doneAt, tr.done = e.T, true
 		}
+	case StageLaunch:
+		r.reg.Counter("stages.launched").Inc()
+		r.reg.Counter("slot.seconds.committed").Add(e.Est * float64(e.Slots))
 	case FlowStart:
 		r.reg.Counter("wan.flows").Inc()
 		r.reg.Counter("wan.bytes").Add(e.Bytes)

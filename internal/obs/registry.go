@@ -20,6 +20,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	series   map[string]*Series
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -29,8 +30,14 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		series:   make(map[string]*Series),
+		help:     make(map[string]string),
 	}
 }
+
+// SetHelp records a help string for the named metric. WritePrometheus
+// emits it as a "# HELP" line (with exposition-format escaping) before
+// the metric's "# TYPE" line; WriteText ignores it.
+func (r *Registry) SetHelp(name, text string) { r.help[name] = text }
 
 // Counter is a monotonically increasing total.
 type Counter struct{ v float64 }

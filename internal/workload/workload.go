@@ -131,10 +131,13 @@ func (s *Stage) InputBySite(nSites int) []float64 {
 	return out
 }
 
-// Job is a DAG of stages with an arrival time.
+// Job is a DAG of stages with an arrival time. Tenant identifies the
+// submitting tenant for per-tenant accounting (fleet analytics); empty
+// means the default tenant.
 type Job struct {
 	ID      int
 	Name    string
+	Tenant  string  `json:",omitempty"`
 	Arrival float64 // seconds
 	Stages  []*Stage
 }

@@ -7,6 +7,7 @@ import (
 	"tetrium/internal/engine"
 	"tetrium/internal/engine/api"
 	"tetrium/internal/fault"
+	"tetrium/internal/fleet"
 	"tetrium/internal/journal"
 )
 
@@ -89,6 +90,16 @@ type EngineOptions struct {
 	// SolveDeadline bounds each placement LP solve before the greedy
 	// fallback places the stage instead; 0 disables.
 	SolveDeadline time.Duration
+
+	// Analytics enables the fleet-analytics store: every emitted event
+	// feeds an in-memory per-tenant columnar store served under
+	// /v1/analytics. Disabled, the event path does no extra work.
+	Analytics bool
+	// AnalyticsSnapshotPath, when non-empty (with Analytics), persists
+	// a JSON snapshot of the store every AnalyticsSnapshotEvery
+	// (default 30s); a final snapshot is written when the engine closes.
+	AnalyticsSnapshotPath  string
+	AnalyticsSnapshotEvery time.Duration
 }
 
 // NewEngine starts an online scheduling engine. Callers must Close it
@@ -134,7 +145,14 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 			return nil, err
 		}
 	}
-	eng, err := engine.New(engine.Config{
+	var analytics *fleet.Store
+	if o.Analytics {
+		analytics = fleet.New(fleet.Config{
+			SnapshotPath:  o.AnalyticsSnapshotPath,
+			SnapshotEvery: o.AnalyticsSnapshotEvery,
+		})
+	}
+	cfg := engine.Config{
 		Cluster:        o.Cluster,
 		Placer:         placer,
 		Policy:         policy,
@@ -151,10 +169,19 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		Restore:        restore,
 		Speculate:      o.Speculate,
 		SolveDeadline:  o.SolveDeadline,
-	})
+	}
+	if analytics != nil {
+		// Assigned only when non-nil: a typed-nil *fleet.Store in the
+		// interface field would defeat the hot path's nil check.
+		cfg.Analytics = analytics
+	}
+	eng, err := engine.New(cfg)
 	if err != nil {
 		if jnl != nil {
 			jnl.Close()
+		}
+		if analytics != nil {
+			analytics.Close()
 		}
 		return nil, err
 	}

@@ -36,6 +36,13 @@ bench:
 PLACE_BENCH = BenchmarkSolve$$|BenchmarkPlaceMap|BenchmarkPlaceReduce|BenchmarkEngineSubmit
 PLACE_PKGS  = ./internal/lp ./internal/place ./internal/engine
 
+# Which benchmarks the warm-start/batching report (BENCH_PR7.json)
+# tracks. The regex deliberately also matches the cold controls
+# (BenchmarkResolveCold, BenchmarkEngineBurstSubmitNoBatch) so the
+# report shows the ~1.0 baselines next to the warm/batched wins.
+PLACE_BENCH7 = BenchmarkResolve|BenchmarkEngineReplace|BenchmarkEngineBurstSubmit
+PLACE_PKGS7  = ./internal/lp ./internal/engine
+
 # Regenerate the placement fast-path benchmark report: run the tracked
 # benchmarks 5×, then diff the medians against the checked-in baseline
 # bench/pr4_before.txt into BENCH_PR4.json (speedup + allocation
@@ -44,12 +51,15 @@ bench-place:
 	$(GO) test -run '^$$' -bench '$(PLACE_BENCH)' -benchmem -benchtime=20x -count=5 $(PLACE_PKGS) | tee bench/pr4_after.txt
 	$(GO) run ./cmd/benchjson -before bench/pr4_before.txt -after bench/pr4_after.txt -out BENCH_PR4.json
 	@grep geomean BENCH_PR4.json
+	$(GO) test -run '^$$' -bench '$(PLACE_BENCH7)' -benchmem -benchtime=20x -count=5 $(PLACE_PKGS7) | tee bench/pr7_after.txt
+	$(GO) run ./cmd/benchjson -before bench/pr7_before.txt -after bench/pr7_after.txt -out BENCH_PR7.json
+	@grep geomean BENCH_PR7.json
 
 # One-iteration pass over every benchmark in the placement path: proves
 # the bench harnesses still compile and run without paying for a full
 # measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(PLACE_BENCH)' -benchtime=1x $(PLACE_PKGS)
+	$(GO) test -run '^$$' -bench '$(PLACE_BENCH)|$(PLACE_BENCH7)' -benchtime=1x $(PLACE_PKGS)
 
 # Short fuzzing passes over the LP solver (every solution certified
 # against the brute-force reference / duality bound) and the placement

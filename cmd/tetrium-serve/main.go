@@ -71,6 +71,7 @@ func main() {
 		eventsCap   = flag.Int("events-cap", 65536, "retained /debug/events entries")
 		solvers     = flag.Int("solve-workers", 0, "off-loop placement solver pool size (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("place-cache", 0, "placement memo cache entries (0 = default 4096, negative disables)")
+		batchAdmit  = flag.Int("batch-admit", 0, "queued admissions drained into one scheduling instance (0 = default 8, 1 disables batching)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 		checkRun    = flag.Bool("check", false, "certify every LP solve")
 
@@ -129,6 +130,7 @@ func main() {
 		EventCap:       *eventsCap,
 		SolveWorkers:   *solvers,
 		PlaceCacheSize: *cacheSize,
+		BatchAdmit:     *batchAdmit,
 		Check:          *checkRun,
 		FaultSpec:      *faultSpec,
 		FaultSeed:      *faultSeed,

@@ -81,5 +81,24 @@ func FuzzSolve(f *testing.F) {
 		if _, cerr := CertifyLP(p, sol); cerr != nil {
 			t.Fatalf("certificate failed (seed %d): %v", seed, cerr)
 		}
+
+		// Warm≡cold differential: re-solve the same instance from its own
+		// final basis. The warm solve must certify exactly like the cold
+		// one and land on the same optimum.
+		var w lp.WarmStart
+		ws := lp.NewWorkspace()
+		if _, err := p.SolveWarm(ws, &w); err != nil {
+			t.Fatalf("warm seed solve failed where cold succeeded (seed %d): %v", seed, err)
+		}
+		warm, err := p.SolveWarm(ws, &w)
+		if err != nil {
+			t.Fatalf("warm re-solve failed (seed %d): %v", seed, err)
+		}
+		if _, cerr := CertifyLP(p, warm); cerr != nil {
+			t.Fatalf("warm certificate failed (seed %d): %v", seed, cerr)
+		}
+		if d := math.Abs(warm.Objective - sol.Objective); d > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("warm objective %v differs from cold %v (seed %d)", warm.Objective, sol.Objective, seed)
+		}
 	})
 }

@@ -159,14 +159,22 @@ func (c *placeCache) put(k placeKey, r placeResult) {
 	c.pushFront(e)
 	c.size++
 	for c.size > c.capacity {
-		c.evictOldest()
+		// evictOldest can run dry before size catches up with a
+		// non-positive capacity (the ring holds at least the entry just
+		// inserted, but size > 0 > capacity stays true forever once the
+		// ring is empty) — break instead of spinning.
+		if !c.evictOldest() {
+			break
+		}
 	}
 }
 
-func (c *placeCache) evictOldest() {
+// evictOldest removes the least recently used entry, reporting false
+// when the ring is already empty.
+func (c *placeCache) evictOldest() bool {
 	old := c.ring.prev
 	if old == c.ring {
-		return
+		return false
 	}
 	c.unlink(old)
 	c.size--
@@ -183,4 +191,5 @@ func (c *placeCache) evictOldest() {
 	} else {
 		c.buckets[old.key.hash] = bucket
 	}
+	return true
 }

@@ -97,6 +97,13 @@ type Config struct {
 	// (Resources, request) pairs reuse the memoized solve. 0 means the
 	// default (4096); negative disables caching.
 	PlaceCacheSize int
+	// BatchAdmit bounds how many queued requests the event loop drains
+	// into one scheduling instance: the pass takes a single capacity
+	// snapshot and solves every uncached placement it produced as one
+	// batch on the worker pool, warm-starting across batch members with
+	// the same stage shape. 0 means the default (8); 1 solves one
+	// admission per instance (the pre-batching behavior).
+	BatchAdmit int
 	// TimeScale converts a stage's LP-estimated seconds into wall-clock
 	// run time. ≤ 0 completes stages immediately.
 	TimeScale float64
@@ -186,6 +193,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.PlaceCacheSize == 0 {
 		cfg.PlaceCacheSize = 4096
+	}
+	if cfg.BatchAdmit == 0 {
+		cfg.BatchAdmit = 8
+	}
+	if cfg.BatchAdmit < 1 {
+		cfg.BatchAdmit = 1
 	}
 	if cfg.SpecPercentile <= 0 || cfg.SpecPercentile > 100 {
 		cfg.SpecPercentile = 95
@@ -299,7 +312,12 @@ func (e *Engine) Close() {
 	for _, t := range e.faultTimers {
 		t.Stop()
 	}
-	e.pool.close()
+	// The loop has exited (stopped is closed), so touching its registry
+	// here is the only writer left. Queued solves discarded by the pool
+	// are surfaced rather than silently vanishing.
+	if n := e.pool.close(); n > 0 {
+		e.st.rec.Registry().Counter("engine.solves_dropped_on_close").Add(float64(n))
+	}
 	if j := e.cfg.Journal; j != nil {
 		j.Close()
 	}

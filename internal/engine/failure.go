@@ -253,6 +253,15 @@ func (s *state) dispatchSolve(js *jobState, sr *stageRun, pr placeRequest, key p
 		stall = inj.SolveStall(s.solveCount)
 	}
 	s.solveCount++
+	// The worker gets its own clone of the stage's warm state: deadline
+	// retries can put two attempts in flight concurrently, and the
+	// loop's copy must never be written off-loop. The clone is installed
+	// back on commit (latest attempt wins via the seq guard).
+	warm := sr.warm.Clone()
+	if warm == nil {
+		warm = place.NewWarmState()
+	}
+	pr.setWarm(warm)
 	s.e.pool.submit(func() {
 		if stall > 0 {
 			// Injected wedged solver. Stalls only ever run on a pool
@@ -262,7 +271,13 @@ func (s *state) dispatchSolve(js *jobState, sr *stageRun, pr placeRequest, key p
 		t0 := time.Now()
 		r, fb := solveRequest(placer, res, pr)
 		nanos := time.Since(t0).Nanoseconds()
-		s.e.inject(func() { s.commitPlacement(js, sr, pr, key, gen, seq, r, fb, nanos) })
+		s.e.inject(func() {
+			s.noteWarmStats(warm)
+			if seq == sr.solveSeq {
+				sr.warm = warm
+			}
+			s.commitPlacement(js, sr, pr, key, gen, seq, r, fb, nanos)
+		})
 	})
 	if deadline := s.e.cfg.SolveDeadline; deadline > 0 {
 		time.AfterFunc(deadline, func() {

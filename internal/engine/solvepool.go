@@ -12,6 +12,12 @@ type solvePool struct {
 	queue  []func()
 	closed bool
 	wg     sync.WaitGroup
+
+	// Accounting (guarded by mu): every accepted submit is eventually
+	// either executed by a worker or reported as dropped by close —
+	// submitted == executed + dropped once close returns.
+	submitted int
+	executed  int
 }
 
 func newSolvePool(workers int) *solvePool {
@@ -37,6 +43,7 @@ func (p *solvePool) worker() {
 		}
 		fn := p.queue[0]
 		p.queue = p.queue[1:]
+		p.executed++
 		p.mu.Unlock()
 		fn()
 	}
@@ -50,18 +57,24 @@ func (p *solvePool) submit(fn func()) {
 		return
 	}
 	p.queue = append(p.queue, fn)
+	p.submitted++
 	p.mu.Unlock()
 	p.cond.Signal()
 }
 
-// close stops the workers. Queued solves are discarded — their commit
-// closures would be dropped by Engine.inject anyway once the loop has
-// stopped.
-func (p *solvePool) close() {
+// close stops the workers and reports how many queued solves were
+// discarded without running — their commit closures would be dropped by
+// Engine.inject anyway once the loop has stopped, but silent discard
+// made shutdown truncation invisible; the caller surfaces the count as
+// engine.solves_dropped_on_close. A second close finds an empty queue
+// and reports zero.
+func (p *solvePool) close() (dropped int) {
 	p.mu.Lock()
+	dropped = len(p.queue)
 	p.closed = true
 	p.queue = nil
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.wg.Wait()
+	return dropped
 }

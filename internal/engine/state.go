@@ -176,6 +176,12 @@ type stageRun struct {
 
 	interBySite []float64 // reduce input location, from upstream outputs
 	outBySite   []float64 // where this stage's output landed
+
+	// warm carries the simplex basis of this stage's latest placement so
+	// re-solves (§4.2 re-placements, deadline retries) skip phase 1.
+	// Loop-owned: async dispatches hand the pool a Clone and install it
+	// back on commit, so the loop's copy is never written concurrently.
+	warm *place.WarmState
 }
 
 type state struct {
@@ -205,6 +211,11 @@ type state struct {
 
 	cache  *placeCache // placement memo cache (nil when disabled)
 	resGen int         // bumped on every cluster update; stale-solve guard
+
+	// pendingBatch collects the async placement solves one scheduling
+	// pass produced; flushBatch ships them to the worker pool as grouped
+	// batch tasks (one capacity snapshot, warm-starting within a group).
+	pendingBatch []batchItem
 
 	// Failure domain (failure.go).
 	restoring  bool        // journal replay in progress; skip re-journaling
@@ -281,12 +292,27 @@ func (s *state) accrueSlots(sr *stageRun) {
 }
 
 // scheduleSoon queues one coalesced scheduling pass on the todo queue.
+// With batched admission the pass first drains up to BatchAdmit−1
+// already-queued external requests, so a burst of submissions shares
+// one scheduling instance — one capacity snapshot, one solve batch —
+// instead of paying a full pass each.
 func (s *state) scheduleSoon() {
 	if s.schedQueued {
 		return
 	}
 	s.schedQueued = true
 	s.todo = append(s.todo, func() {
+		if k := s.e.cfg.BatchAdmit; k > 1 {
+		drain:
+			for i := 0; i < k-1; i++ {
+				select {
+				case fn := <-s.e.reqs:
+					fn()
+				default:
+					break drain
+				}
+			}
+		}
 		s.schedQueued = false
 		s.schedule()
 	})
@@ -434,6 +460,7 @@ func (s *state) schedule() {
 			}
 		}
 	}
+	s.flushBatch()
 	s.emit(obs.SchedInstance{
 		T: s.now(), Seq: s.instSeq, Considered: len(cands),
 		Order: orderIDs, FreeSlots: freeAtStart, Launched: launched,
@@ -455,6 +482,59 @@ func (pr placeRequest) numTasks() int {
 		return pr.mreq.NumTasks
 	}
 	return pr.rreq.NumTasks
+}
+
+// setWarm points the request at a warm-start state for the placer to
+// use. Never reflected in requestKey: a warm start changes solve speed,
+// not the placement, so cache signatures ignore it.
+func (pr *placeRequest) setWarm(w *place.WarmState) {
+	if pr.kind == "map" {
+		pr.mreq.Warm = w
+	} else {
+		pr.rreq.Warm = w
+	}
+}
+
+// shapeKey fingerprints the dimensions of the LP this request builds:
+// stage kind, which sites hold data (the zero pattern decides which
+// rows and columns exist), and whether a WAN-budget row is present.
+// Requests with equal shapeKeys very likely build identically-shaped
+// LPs, so chaining one warm basis through them pays off; a mismatch
+// only costs the warm attempt's fallback to phase 1.
+func (pr placeRequest) shapeKey() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	var data []float64
+	var budget float64
+	if pr.kind == "map" {
+		mix(0)
+		data = pr.mreq.InputBySite
+		budget = pr.mreq.WANBudget
+	} else {
+		mix(1)
+		data = pr.rreq.InterBySite
+		budget = pr.rreq.WANBudget
+	}
+	for _, v := range data {
+		if v > 0 {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	if budget >= 0 {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	return h
 }
 
 // buildRequest snapshots a stage's placement inputs. The data vectors
@@ -620,7 +700,15 @@ func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) (solves,
 	if force || sr.staleDrops >= maxStaleDrops {
 		t0 := time.Now()
 		res := place.Resources{Slots: s.capSlots, UpBW: s.upBW, DownBW: s.downBW}
+		// Loop-owned, so the stage's warm state is used in place: a §4.2
+		// replaceAll re-solves the exact same stage shape against drifted
+		// capacities — the warm start's best case.
+		if sr.warm == nil {
+			sr.warm = place.NewWarmState()
+		}
+		pr.setWarm(sr.warm)
 		r, fb := solveRequest(s.e.cfg.Placer, res, pr)
+		s.noteWarmStats(sr.warm)
 		s.applyPlacement(js, sr, pr, r, fb, false, force, false, time.Since(t0).Nanoseconds())
 		if s.cache != nil && !fb {
 			s.cache.put(key, r)
@@ -629,8 +717,27 @@ func (s *state) ensurePlacement(js *jobState, sr *stageRun, force bool) (solves,
 	}
 	sr.solving = true
 	sr.solveSeq++
+	if s.e.cfg.BatchAdmit > 1 {
+		// Deferred to the end of the scheduling pass: flushBatch ships
+		// every solve this pass produced to the pool as grouped batch
+		// tasks sharing one capacity snapshot.
+		s.pendingBatch = append(s.pendingBatch, batchItem{js: js, sr: sr, pr: pr, key: key, seq: sr.solveSeq})
+		return 1, 0
+	}
 	s.dispatchSolve(js, sr, pr, key, 0)
 	return 1, 0
+}
+
+// noteWarmStats drains a warm state's solve-outcome counters into the
+// registry. Loop-only.
+func (s *state) noteWarmStats(w *place.WarmState) {
+	started, fallback := w.TakeStats()
+	if started > 0 {
+		s.rec.Registry().Counter("engine.solves_warm_started").Add(float64(started))
+	}
+	if fallback > 0 {
+		s.rec.Registry().Counter("engine.solves_warm_fallback").Add(float64(fallback))
+	}
 }
 
 // commitPlacement lands an off-loop solve back on the loop. seq guards
@@ -667,6 +774,110 @@ func (s *state) commitPlacement(js *jobState, sr *stageRun, pr placeRequest, key
 		s.cache.put(key, r)
 	}
 	s.scheduleSoon()
+}
+
+// batchItem is one async placement solve produced by a scheduling pass,
+// parked until flushBatch ships it to the worker pool. The result
+// fields are written by the pool worker and read by the commit
+// injection (ordered by the inject channel send).
+type batchItem struct {
+	js    *jobState
+	sr    *stageRun
+	pr    placeRequest
+	key   placeKey
+	seq   int
+	stall time.Duration
+	res   placeResult
+	fb    bool
+	nanos int64
+}
+
+// flushBatch ships the scheduling pass's collected solves to the worker
+// pool: one capacity snapshot for the whole batch, one pool task per
+// LP-shape group solving its members sequentially through a shared warm
+// state (member j re-enters phase 2 from member j−1's basis), and one
+// commit injection per group. Every member commits under the resource
+// generation captured here, so a §4.2 update landing mid-batch
+// invalidates the whole batch's results, exactly as it would each
+// individual solve.
+func (s *state) flushBatch() {
+	items := s.pendingBatch
+	s.pendingBatch = nil
+	if len(items) == 0 {
+		return
+	}
+	s.rec.Registry().Histogram("engine.batch_sizes", 1, 2, 8).
+		Observe(float64(len(items)))
+	gen := s.resGen
+	res := place.Resources{
+		Slots:  append([]int(nil), s.capSlots...),
+		UpBW:   append([]float64(nil), s.upBW...),
+		DownBW: append([]float64(nil), s.downBW...),
+	}
+	placer := s.e.cfg.Placer
+	inj := s.e.cfg.Faults
+	for i := range items {
+		if inj != nil {
+			items[i].stall = inj.SolveStall(s.solveCount)
+		}
+		s.solveCount++
+	}
+	// Group by LP shape, preserving encounter order within and across
+	// groups so commits land in a deterministic order per group.
+	byShape := make(map[uint64][]*batchItem, len(items))
+	var order []uint64
+	for i := range items {
+		k := items[i].pr.shapeKey()
+		if _, ok := byShape[k]; !ok {
+			order = append(order, k)
+		}
+		byShape[k] = append(byShape[k], &items[i])
+	}
+	for _, k := range order {
+		group := byShape[k]
+		warm := group[0].sr.warm.Clone()
+		if warm == nil {
+			warm = place.NewWarmState()
+		}
+		// Deadlines are armed with value copies of each request BEFORE
+		// the pool task exists: the worker writes it.pr's warm pointer,
+		// and the deadline closure must not read the same struct.
+		if deadline := s.e.cfg.SolveDeadline; deadline > 0 {
+			for _, it := range group {
+				js, sr, pr, seq := it.js, it.sr, it.pr, it.seq
+				time.AfterFunc(deadline, func() {
+					s.e.inject(func() { s.solveDeadline(js, sr, pr, gen, seq, 0) })
+				})
+			}
+		}
+		s.e.pool.submit(func() {
+			for _, it := range group {
+				if it.stall > 0 {
+					time.Sleep(it.stall)
+				}
+				t0 := time.Now()
+				it.pr.setWarm(warm)
+				it.res, it.fb = solveRequest(placer, res, it.pr)
+				it.nanos = time.Since(t0).Nanoseconds()
+			}
+			s.e.inject(func() {
+				s.noteWarmStats(warm)
+				for i, it := range group {
+					if it.seq == it.sr.solveSeq {
+						// Hand the chained basis back to each member for
+						// its next re-solve; clones keep the stages'
+						// warm states independent from here on.
+						if i == 0 {
+							it.sr.warm = warm
+						} else {
+							it.sr.warm = warm.Clone()
+						}
+					}
+					s.commitPlacement(it.js, it.sr, it.pr, it.key, gen, it.seq, it.res, it.fb, it.nanos)
+				}
+			})
+		})
+	}
 }
 
 // capacityProportional spreads count tasks over sites proportionally to

@@ -11,6 +11,13 @@ import (
 // solves on every placement decision, with the paper's 1e9-scale byte
 // coefficients mixed against unit fractions.
 func benchProblem(n int, seed int64) *Problem {
+	return benchProblemScaled(n, seed, 1)
+}
+
+// benchProblemScaled is benchProblem with every site's slot count scaled
+// by f — the shape of a §4.2 re-solve, where capacities drift but the
+// LP's dimensions stay fixed.
+func benchProblemScaled(n int, seed int64, f float64) *Problem {
 	rng := rand.New(rand.NewSource(seed))
 	inter := make([]float64, n)
 	upBW := make([]float64, n)
@@ -21,7 +28,7 @@ func benchProblem(n int, seed int64) *Problem {
 		inter[i] = rng.Float64() * 4e9
 		upBW[i] = (0.1 + rng.Float64()) * 1e9
 		downBW[i] = (0.1 + rng.Float64()) * 1e9
-		slots[i] = float64(4 + rng.Intn(28))
+		slots[i] = f * float64(4+rng.Intn(28))
 		total += inter[i]
 	}
 	p := NewProblem()
@@ -42,6 +49,61 @@ func benchProblem(n int, seed int64) *Problem {
 	}
 	p.AddConstraint(sum, EQ, 1)
 	return p
+}
+
+// resolveProblems is the re-placement workload: two instances of the
+// same LP shape whose slot capacities differ slightly, solved
+// alternately — exactly what §4.2 replaceAll sees when a cluster update
+// nudges capacities and every live stage re-solves.
+func resolveProblems(n int) []*Problem {
+	return []*Problem{
+		benchProblemScaled(n, 3, 1),
+		benchProblemScaled(n, 3, 0.9),
+	}
+}
+
+// BenchmarkResolve measures repeated re-solves of a drifting problem
+// through the warm-start path: each solve re-enters phase 2 from the
+// previous solve's basis. Compare against BenchmarkResolveCold.
+func BenchmarkResolve(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		probs := resolveProblems(n)
+		name := "n=08"
+		if n == 24 {
+			name = "n=24"
+		}
+		b.Run(name, func(b *testing.B) {
+			ws := NewWorkspace()
+			var warm WarmStart
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := probs[i%2].SolveWarm(ws, &warm); err != nil {
+					b.Fatalf("SolveWarm: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkResolveCold is BenchmarkResolve pinned to full cold solves —
+// the control the warm-start variant is judged against.
+func BenchmarkResolveCold(b *testing.B) {
+	for _, n := range []int{8, 24} {
+		probs := resolveProblems(n)
+		name := "n=08"
+		if n == 24 {
+			name = "n=24"
+		}
+		b.Run(name, func(b *testing.B) {
+			ws := NewWorkspace()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := probs[i%2].SolveInto(ws); err != nil {
+					b.Fatalf("SolveInto: %v", err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSolve(b *testing.B) {

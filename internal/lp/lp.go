@@ -271,6 +271,11 @@ type Solution struct {
 	// against the original problem (always <= FeasTol for a returned
 	// solution; larger residuals become a *ResidualError instead).
 	MaxResidual float64
+
+	// Warm reports that the solve re-entered phase 2 from a prior basis
+	// (SolveWarm with a compatible WarmStart). Cold solves — including
+	// SolveWarm calls that fell back to phase 1 — leave it false.
+	Warm bool
 }
 
 // Value returns the solved value of v.
@@ -312,6 +317,15 @@ func (p *Problem) SolveInto(ws *Workspace) (*Solution, error) {
 	if err := t.phase1(); err != nil {
 		return nil, err
 	}
+	return p.finishSolve(ws, false)
+}
+
+// finishSolve runs phase 2 on the prepared (feasible-basis) tableau and
+// extracts the solution: unscaling, negative clamping, the residual
+// self-check against the original rows, and dual recovery. warm marks
+// the returned solution as having re-entered phase 2 from a prior basis.
+func (p *Problem) finishSolve(ws *Workspace, warm bool) (*Solution, error) {
+	t := &ws.tab
 	if err := t.phase2(ws.eqObj); err != nil {
 		return nil, err
 	}
@@ -367,7 +381,7 @@ func (p *Problem) SolveInto(ws *Workspace) (*Solution, error) {
 	if t.degenerate {
 		status = OptimalDegenerate
 	}
-	return &Solution{Status: status, Objective: obj, X: x, Dual: dual, MaxResidual: worst}, nil
+	return &Solution{Status: status, Objective: obj, X: x, Dual: dual, MaxResidual: worst, Warm: warm}, nil
 }
 
 // rowResidual returns the relative violation of constraint i at point x:

@@ -35,7 +35,19 @@ type tableau struct {
 	cost []float64 // active phase's cost vector (phase 2's stays for duals)
 	rc   []float64 // reduced costs, recomputed each iteration
 	y    []float64 // dual multipliers
+
+	// installBasis scratch.
+	warmRow   []int
+	warmTaken []bool
+	warmNeed  []int
 }
+
+// installBasis outcomes.
+const (
+	warmSkipped   = iota // basis incompatible, tableau untouched — solve cold
+	warmInstalled        // basis installed and primal feasible — enter phase 2
+	warmFailed           // install dirtied the tableau then failed — rebuild, solve cold
+)
 
 // init rebuilds the tableau from the workspace's equilibrated rows. It
 // normalizes rhs >= 0 in place (flipping row signs and LE<->GE senses),
@@ -104,6 +116,86 @@ func (t *tableau) init(ws *Workspace, nvars int) {
 			artAt++
 		}
 	}
+}
+
+// installBasis tries to reinstall a previously snapshotted basis on a
+// freshly init'd tableau. The basis is treated as a set of columns: rows
+// whose init identity column is already in the set are kept as-is, and
+// every remaining column is pivoted in on the free row with the largest
+// |pivot|. Compatibility checks (dimensions, column range, artificials)
+// run before the first pivot, so a warmSkipped return leaves the tableau
+// exactly as init built it; warmFailed means pivots already dirtied it
+// and the caller must rebuild before solving cold.
+func (t *tableau) installBasis(w *WarmStart) int {
+	if w.m != t.m || w.n != t.n || w.ncols != t.ncols || len(w.cols) < t.m {
+		return warmSkipped
+	}
+	for _, c := range w.cols[:t.m] {
+		if c < 0 || c >= t.ncols || t.isArt[c] {
+			return warmSkipped
+		}
+	}
+	nc := t.ncols
+	t.warmRow = grow(t.warmRow, nc)
+	colRow := t.warmRow
+	for j := 0; j < nc; j++ {
+		colRow[j] = -1
+	}
+	for i := 0; i < t.m; i++ {
+		colRow[t.basis[i]] = i
+	}
+	t.warmTaken = grow(t.warmTaken, t.m)
+	taken := t.warmTaken[:t.m]
+	for i := range taken {
+		taken[i] = false
+	}
+	t.warmNeed = t.warmNeed[:0]
+	for _, c := range w.cols[:t.m] {
+		if r := colRow[c]; r >= 0 && !taken[r] {
+			taken[r] = true
+			continue
+		}
+		t.warmNeed = append(t.warmNeed, c)
+	}
+	dirty := false
+	for _, c := range t.warmNeed {
+		r, best := -1, 1e-7
+		for i := 0; i < t.m; i++ {
+			if taken[i] {
+				continue
+			}
+			if v := math.Abs(t.a[i*nc+c]); v > best {
+				best, r = v, i
+			}
+		}
+		if r < 0 {
+			// No usable pivot: the snapshotted basis is singular for the
+			// new coefficients (or a duplicate column slipped in).
+			if dirty {
+				return warmFailed
+			}
+			return warmSkipped
+		}
+		t.pivot(r, c)
+		taken[r] = true
+		dirty = true
+	}
+	// The reinstalled basis must be primal feasible for the new rhs —
+	// B⁻¹b ≥ 0 up to roundoff — or phase 2 would optimize from an
+	// infeasible vertex and return garbage.
+	for i := 0; i < t.m; i++ {
+		if t.b[i] >= 0 {
+			continue
+		}
+		if t.b[i] < -1e-9 {
+			if dirty {
+				return warmFailed
+			}
+			return warmSkipped
+		}
+		t.b[i] = 0
+	}
+	return warmInstalled
 }
 
 // pivot performs a pivot on (row, col) using Gauss-Jordan elimination.

@@ -1,0 +1,120 @@
+package lp
+
+// Basis warm-starting. A successful solve snapshots its final basis — the
+// set of tableau columns basic in each row — into a WarmStart; a later
+// SolveWarm of an identically-shaped problem reinstalls that basis on the
+// fresh tableau and re-enters phase 2 directly, skipping phase 1. The
+// placement LPs re-solve the same shape constantly (§4.2 re-placements
+// after capacity drift, per-job re-solves of a repeated stage shape), and
+// the optimal basis rarely moves far between drifts, so the warm phase 2
+// usually terminates in a handful of pivots.
+//
+// Fallback rules: the snapshot is ignored (cold phase 1) whenever the new
+// tableau's dimensions differ, a snapshotted column no longer exists or
+// is artificial, the basis matrix turns out singular during installation,
+// or the reinstalled basis is primal infeasible for the new rhs beyond
+// roundoff. A warm phase 2 that then fails (unbounded ray, iteration
+// limit, residual rejection) is retried cold before the error is
+// surfaced, so SolveWarm never returns a worse verdict than SolveInto.
+
+// WarmStart captures the final simplex basis of a successful solve for
+// reuse by SolveWarm. The zero value is an empty (cold) warm start.
+// A WarmStart is not safe for concurrent use and must not be shared
+// between concurrent solves; see CopyFrom.
+type WarmStart struct {
+	m, n, ncols int   // tableau dimensions the basis applies to
+	cols        []int // basic column per row
+	valid       bool
+}
+
+// Valid reports whether w holds a reusable basis.
+func (w *WarmStart) Valid() bool { return w != nil && w.valid }
+
+// Reset discards the stored basis; the next SolveWarm runs cold.
+func (w *WarmStart) Reset() { w.valid = false }
+
+// CopyFrom makes w an independent copy of src, sharing no storage — the
+// way to hand a basis to another goroutine.
+func (w *WarmStart) CopyFrom(src *WarmStart) {
+	if src == nil || !src.valid {
+		w.valid = false
+		return
+	}
+	w.m, w.n, w.ncols = src.m, src.n, src.ncols
+	w.cols = append(w.cols[:0], src.cols...)
+	w.valid = true
+}
+
+// snapshotBasis records the tableau's final basis into w. A basis with
+// an artificial column still basic (a redundant row left degenerate by
+// phase 1) is not reusable — reinstalling it on a perturbed problem
+// could start phase 2 off the feasible region — so the snapshot is
+// marked invalid instead.
+func (ws *Workspace) snapshotBasis(w *WarmStart) {
+	t := &ws.tab
+	w.valid = false
+	w.m, w.n, w.ncols = t.m, t.n, t.ncols
+	w.cols = grow(w.cols, t.m)
+	for i := 0; i < t.m; i++ {
+		c := t.basis[i]
+		if t.isArt[c] {
+			return
+		}
+		w.cols[i] = c
+	}
+	w.valid = true
+}
+
+// SolveWarm is SolveInto re-entering phase 2 from the basis stored in w
+// when it applies, falling back to a cold phase-1 solve when it does not
+// (see the fallback rules above). On success the final basis is
+// snapshotted back into w for the next call; on error w is reset.
+// Solution.Warm reports whether the prior basis was actually used.
+//
+// SolveInto itself never consults a WarmStart: cold solves stay
+// bit-identical run to run, and warm-starting is an explicit opt-in.
+func (p *Problem) SolveWarm(ws *Workspace, w *WarmStart) (*Solution, error) {
+	if w == nil {
+		return p.SolveInto(ws)
+	}
+	sol, err := p.solveWarm(ws, w)
+	if err != nil {
+		w.Reset()
+		return nil, err
+	}
+	ws.snapshotBasis(w)
+	return sol, nil
+}
+
+func (p *Problem) solveWarm(ws *Workspace, w *WarmStart) (*Solution, error) {
+	if err := p.equilibrate(ws); err != nil {
+		return nil, err
+	}
+	t := &ws.tab
+	t.init(ws, len(p.obj))
+	attempt := warmSkipped
+	if w.valid {
+		attempt = t.installBasis(w)
+	}
+	if attempt == warmInstalled {
+		sol, err := p.finishSolve(ws, true)
+		if err == nil {
+			return sol, nil
+		}
+		// The prior basis led phase 2 astray; retry cold below. The
+		// tableau must be rebuilt for that — and init mutates the
+		// equilibrated rows in place (rhs sign normalization), so the
+		// rebuild starts from equilibrate, exactly like a fresh solve.
+		attempt = warmFailed
+	}
+	if attempt == warmFailed {
+		if err := p.equilibrate(ws); err != nil {
+			return nil, err
+		}
+		t.init(ws, len(p.obj))
+	}
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	return p.finishSolve(ws, false)
+}

@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSolveWarmMatchesCold is the warm≡cold differential: re-solving a
+// drifting family of same-shape problems through SolveWarm must reach
+// the same optimum (objective and point, to tolerance) as cold solves,
+// and the warm path must actually engage — otherwise the suite would
+// pass trivially with a broken installBasis that always falls back.
+func TestSolveWarmMatchesCold(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 24} {
+		var w WarmStart
+		ws := NewWorkspace()
+		warmUsed := 0
+		for step := 0; step < 12; step++ {
+			f := 1 - 0.04*float64(step%5)
+			p := benchProblemScaled(n, 7, f)
+			warm, err := p.SolveWarm(ws, &w)
+			if err != nil {
+				t.Fatalf("n=%d step %d: SolveWarm: %v", n, step, err)
+			}
+			cold, err := p.SolveInto(NewWorkspace())
+			if err != nil {
+				t.Fatalf("n=%d step %d: SolveInto: %v", n, step, err)
+			}
+			if warm.Warm {
+				warmUsed++
+			}
+			if d := math.Abs(warm.Objective - cold.Objective); d > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("n=%d step %d: warm objective %v vs cold %v (diff %g)", n, step, warm.Objective, cold.Objective, d)
+			}
+			for i := range warm.X {
+				if d := math.Abs(warm.X[i] - cold.X[i]); d > 1e-6 {
+					t.Fatalf("n=%d step %d: x[%d] warm %v vs cold %v", n, step, i, warm.X[i], cold.X[i])
+				}
+			}
+		}
+		if warmUsed == 0 {
+			t.Fatalf("n=%d: no solve ever re-entered phase 2 warm", n)
+		}
+	}
+}
+
+// TestSolveWarmIdenticalProblem re-solves the exact same problem: the
+// prior optimal basis must install and phase 2 should accept it with no
+// further pivots, reproducing the cold optimum.
+func TestSolveWarmIdenticalProblem(t *testing.T) {
+	p := benchProblem(12, 3)
+	ws := NewWorkspace()
+	var w WarmStart
+	first, err := p.SolveWarm(ws, &w)
+	if err != nil {
+		t.Fatalf("first SolveWarm: %v", err)
+	}
+	if first.Warm {
+		t.Fatal("first solve reported Warm with an empty WarmStart")
+	}
+	if !w.Valid() {
+		t.Fatal("successful solve did not snapshot a valid basis")
+	}
+	second, err := p.SolveWarm(ws, &w)
+	if err != nil {
+		t.Fatalf("second SolveWarm: %v", err)
+	}
+	if !second.Warm {
+		t.Fatal("re-solve of the identical problem did not warm-start")
+	}
+	if math.Abs(second.Objective-first.Objective) > 1e-9*(1+math.Abs(first.Objective)) {
+		t.Fatalf("warm re-solve objective %v differs from first %v", second.Objective, first.Objective)
+	}
+}
+
+// TestSolveWarmDimensionMismatch feeds a basis from a differently-sized
+// problem: installBasis must skip without touching the tableau, so the
+// result is bit-identical to a plain cold solve.
+func TestSolveWarmDimensionMismatch(t *testing.T) {
+	small := benchProblem(6, 1)
+	big := benchProblem(20, 1)
+	var w WarmStart
+	if _, err := small.SolveWarm(NewWorkspace(), &w); err != nil {
+		t.Fatalf("seed solve: %v", err)
+	}
+	if !w.Valid() {
+		t.Fatal("seed solve left no basis")
+	}
+	got, err := big.SolveWarm(NewWorkspace(), &w)
+	if err != nil {
+		t.Fatalf("mismatched SolveWarm: %v", err)
+	}
+	if got.Warm {
+		t.Fatal("dimension-mismatched basis reported a warm solve")
+	}
+	want, err := big.SolveInto(NewWorkspace())
+	if err != nil {
+		t.Fatalf("SolveInto: %v", err)
+	}
+	if !sameSolution(want, got) {
+		t.Fatal("skipped warm start changed the cold solve's bits")
+	}
+	// The failed reuse must be replaced by the new problem's basis.
+	if !w.Valid() {
+		t.Fatal("mismatched solve did not re-snapshot the new basis")
+	}
+	again, err := big.SolveWarm(NewWorkspace(), &w)
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if !again.Warm {
+		t.Fatal("re-solve after re-snapshot did not warm-start")
+	}
+}
+
+// TestSolveWarmNilAndCopy covers the nil/zero-value conveniences and
+// CopyFrom's independence.
+func TestSolveWarmNilAndCopy(t *testing.T) {
+	p := benchProblem(8, 9)
+	sol, err := p.SolveWarm(NewWorkspace(), nil)
+	if err != nil {
+		t.Fatalf("SolveWarm(nil): %v", err)
+	}
+	if sol.Warm {
+		t.Fatal("nil WarmStart produced a warm solve")
+	}
+	var w WarmStart
+	if _, err := p.SolveWarm(NewWorkspace(), &w); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	var cp WarmStart
+	cp.CopyFrom(&w)
+	if !cp.Valid() {
+		t.Fatal("CopyFrom dropped a valid basis")
+	}
+	w.Reset()
+	if !cp.Valid() {
+		t.Fatal("Reset on the source invalidated the copy")
+	}
+	got, err := p.SolveWarm(NewWorkspace(), &cp)
+	if err != nil {
+		t.Fatalf("SolveWarm(copy): %v", err)
+	}
+	if !got.Warm {
+		t.Fatal("copied basis did not warm-start")
+	}
+	cp.CopyFrom(nil)
+	if cp.Valid() {
+		t.Fatal("CopyFrom(nil) left the copy valid")
+	}
+}
+
+// TestReleaseWorkspaceRetentionCap checks oversized workspaces are
+// dropped on release instead of pinning their arrays in the pool.
+func TestReleaseWorkspaceRetentionCap(t *testing.T) {
+	ws := NewWorkspace()
+	if ws.oversized() {
+		t.Fatal("fresh workspace reported oversized")
+	}
+	if _, err := benchProblem(8, 2).SolveInto(ws); err != nil {
+		t.Fatalf("SolveInto: %v", err)
+	}
+	if ws.oversized() {
+		t.Fatal("small-problem workspace reported oversized")
+	}
+	ws.tab.a = make([]float64, maxRetainTableau+1)
+	if !ws.oversized() {
+		t.Fatal("tableau past maxRetainTableau not reported oversized")
+	}
+	ws.tab.a = nil
+	ws.eqCoef = make([]float64, maxRetainEntries+1)
+	if !ws.oversized() {
+		t.Fatal("row storage past maxRetainEntries not reported oversized")
+	}
+	// Drain the pool, release the oversized workspace, and confirm the
+	// next acquire does not hand it back.
+	var drained []*Workspace
+	for i := 0; i < 64; i++ {
+		drained = append(drained, AcquireWorkspace())
+	}
+	ReleaseWorkspace(ws)
+	for i := 0; i < 64; i++ {
+		got := AcquireWorkspace()
+		if got == ws {
+			t.Fatal("oversized workspace came back out of the pool")
+		}
+		drained = append(drained, got)
+	}
+	for _, d := range drained {
+		ReleaseWorkspace(d)
+	}
+}
+
+// TestReleaseProblemRetentionCap is the Problem-side retention check.
+func TestReleaseProblemRetentionCap(t *testing.T) {
+	p := NewProblem()
+	p.rcoef = make([]float64, maxRetainEntries+1)
+	var drained []*Problem
+	for i := 0; i < 64; i++ {
+		drained = append(drained, AcquireProblem())
+	}
+	ReleaseProblem(p)
+	for i := 0; i < 64; i++ {
+		got := AcquireProblem()
+		if got == p {
+			t.Fatal("oversized problem came back out of the pool")
+		}
+		drained = append(drained, got)
+	}
+	for _, d := range drained {
+		ReleaseProblem(d)
+	}
+}

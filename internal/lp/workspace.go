@@ -44,9 +44,35 @@ var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 // so releasing immediately after SolveInto is safe.
 func AcquireWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
 
-// ReleaseWorkspace returns ws to the shared pool. The caller must not
-// use ws afterwards.
-func ReleaseWorkspace(ws *Workspace) { wsPool.Put(ws) }
+// Retention caps for the pools. A single outlier solve (one huge LP in
+// an otherwise small-problem workload) would otherwise pin its
+// worst-case buffers in the pool forever: workspaces and problems are
+// recycled, never shrunk, so every later small solve carries the giant
+// backing arrays around. Oversized objects are dropped on release and
+// the pool re-allocates at the workload's actual steady-state size.
+const (
+	// maxRetainTableau bounds the dense m×ncols tableau (float64s). 2Mi
+	// entries = 16 MiB, roughly a 700-row placement LP — far above any
+	// per-stage LP the engine builds, cheap enough to keep pooled.
+	maxRetainTableau = 1 << 21
+	// maxRetainEntries bounds the sparse row storage (coefficient
+	// entries) of pooled problems and workspace copies.
+	maxRetainEntries = 1 << 18
+)
+
+func (ws *Workspace) oversized() bool {
+	return cap(ws.tab.a) > maxRetainTableau || cap(ws.eqCoef) > maxRetainEntries
+}
+
+// ReleaseWorkspace returns ws to the shared pool — unless its backing
+// arrays grew past the retention caps, in which case it is dropped for
+// the garbage collector instead. The caller must not use ws afterwards.
+func ReleaseWorkspace(ws *Workspace) {
+	if ws.oversized() {
+		return
+	}
+	wsPool.Put(ws)
+}
 
 // grow returns s resized to n elements, reallocating only when the
 // capacity is insufficient. Contents are unspecified.
@@ -76,7 +102,14 @@ func AcquireProblem() *Problem {
 	return p
 }
 
-// ReleaseProblem returns p to the shared pool. Solutions returned by
-// Solve/SolveInto do not reference the problem, so releasing after the
-// solve is safe; the caller must not use p afterwards.
-func ReleaseProblem(p *Problem) { probPool.Put(p) }
+// ReleaseProblem returns p to the shared pool, dropping it instead when
+// its row storage grew past the retention cap (see ReleaseWorkspace).
+// Solutions returned by Solve/SolveInto do not reference the problem, so
+// releasing after the solve is safe; the caller must not use p
+// afterwards.
+func ReleaseProblem(p *Problem) {
+	if cap(p.rcoef) > maxRetainEntries {
+		return
+	}
+	probPool.Put(p)
+}

@@ -35,7 +35,7 @@ func (Iridium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 func (i Iridium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
 	ws := lp.AcquireWorkspace()
 	defer lp.ReleaseWorkspace(ws)
-	return solveReduce(res, req, false, i.Check, ws)
+	return solveReduce(res, req, false, i.Check, ws, nil)
 }
 
 // InPlace is the site-locality baseline (§6.1a): default Spark behaviour

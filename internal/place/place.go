@@ -68,6 +68,13 @@ type MapRequest struct {
 	// what makes deep stage chains avoid parking all data behind one
 	// thin uplink.
 	OutputBytes float64
+	// Warm, when non-nil, lets the placer reuse the simplex basis of
+	// this stage's previous placement and records the new one back for
+	// the next call. Nil means a plain cold solve. A WarmState must not
+	// be shared across concurrent placements; it never changes which
+	// placement is returned, only how fast the LP converges. Placers
+	// other than Tetrium ignore it.
+	Warm *WarmState
 }
 
 // TotalInput sums the stage's input bytes.
@@ -136,6 +143,8 @@ type ReduceRequest struct {
 	WANBudget   float64 // negative = unlimited
 	// OutputBytes: see MapRequest.OutputBytes.
 	OutputBytes float64
+	// Warm: see MapRequest.Warm.
+	Warm *WarmState
 }
 
 // TotalInter sums the intermediate bytes.

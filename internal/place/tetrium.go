@@ -12,13 +12,27 @@ import (
 // solveLP is the single choke point for every LP solve in this package.
 // Every solve goes through the caller's workspace, so the simplex
 // scratch buffers are reused across the several LPs one placement
-// decision issues. With certify set it validates the returned solution
-// against the problem via the internal/check certifier (primal
-// residuals, non-negativity, optimality bound) and converts a failed
-// certificate into an error, so callers in debug/check mode surface
-// numerical breakdowns instead of silently using a bad placement.
-func solveLP(prob *lp.Problem, ws *lp.Workspace, certify bool) (*lp.Solution, error) {
-	sol, err := prob.SolveInto(ws)
+// decision issues. A non-nil basis routes the solve through
+// lp.SolveWarm, re-entering phase 2 from the previous placement's basis
+// when it still applies; the outcome (warm vs. fallback) is recorded on
+// wstate. With certify set it validates the returned solution against
+// the problem via the internal/check certifier (primal residuals,
+// non-negativity, optimality bound) and converts a failed certificate
+// into an error, so callers in debug/check mode surface numerical
+// breakdowns instead of silently using a bad placement — warm solves
+// are certified exactly like cold ones.
+func solveLP(prob *lp.Problem, ws *lp.Workspace, certify bool, wstate *WarmState, basis *lp.WarmStart) (*lp.Solution, error) {
+	var sol *lp.Solution
+	var err error
+	if basis != nil {
+		hadBasis := basis.Valid()
+		sol, err = prob.SolveWarm(ws, basis)
+		if err == nil {
+			wstate.observe(hadBasis, sol.Warm)
+		}
+	} else {
+		sol, err = prob.SolveInto(ws)
+	}
 	if err != nil || !certify {
 		return sol, err
 	}
@@ -174,18 +188,20 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 	if len(destSets) == 1 {
 		ws := lp.AcquireWorkspace()
 		defer lp.ReleaseWorkspace(ws)
-		return t.solveMap(res, req, destSets[0], ws)
+		return t.solveMap(res, req, destSets[0], ws, req.Warm.mapBasis(0))
 	}
 	// Independent candidate destination subsets: solve one LP per subset
 	// concurrently and keep the placement with the best integral-wave
 	// estimate. Selection is by estimate then lowest subset index, so the
 	// result is identical whether the solves ran in parallel or not.
+	// Each subset warm-starts from its own basis slot, so the parallel
+	// solves never share a WarmStart.
 	results := make([]MapPlacement, len(destSets))
 	errs := make([]error, len(destSets))
 	runParallel(len(destSets), func(i int) {
 		ws := lp.AcquireWorkspace()
 		defer lp.ReleaseWorkspace(ws)
-		results[i], errs[i] = t.solveMap(res, req, destSets[i], ws)
+		results[i], errs[i] = t.solveMap(res, req, destSets[i], ws, req.Warm.mapBasis(i))
 	})
 	bestIdx := -1
 	bestEst := math.Inf(1)
@@ -212,7 +228,7 @@ func (t Tetrium) PlaceMap(res Resources, req MapRequest) (MapPlacement, error) {
 
 // solveMap builds and solves the §3.1 map LP restricted to the given
 // candidate destination set, returning the refined placement.
-func (t Tetrium) solveMap(res Resources, req MapRequest, destOK []bool, ws *lp.Workspace) (MapPlacement, error) {
+func (t Tetrium) solveMap(res Resources, req MapRequest, destOK []bool, ws *lp.Workspace, basis *lp.WarmStart) (MapPlacement, error) {
 	n := res.N()
 	total := req.TotalInput()
 	hasData := make([]bool, n)
@@ -328,7 +344,7 @@ func (t Tetrium) solveMap(res Resources, req MapRequest, destOK []bool, ws *lp.W
 		}
 	}
 
-	sol, err := solveLP(prob, ws, t.Check)
+	sol, err := solveLP(prob, ws, t.Check, req.Warm, basis)
 	if err != nil {
 		if t.Check {
 			return MapPlacement{}, err
@@ -590,14 +606,14 @@ func sortBy(idx []int, less func(a, b int) bool) {
 func (t Tetrium) PlaceReduce(res Resources, req ReduceRequest) (ReducePlacement, error) {
 	ws := lp.AcquireWorkspace()
 	defer lp.ReleaseWorkspace(ws)
-	return solveReduce(res, req, true, t.Check, ws)
+	return solveReduce(res, req, true, t.Check, ws, req.Warm.reduceBasis())
 }
 
 // solveReduce implements both Tetrium's reduce LP and — with
 // includeCompute=false — Iridium's shuffle-only variant (§3.2: "The key
 // difference is that we extend the model to jointly minimize the time
 // spent in network transfer and in computation").
-func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool, ws *lp.Workspace) (ReducePlacement, error) {
+func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool, ws *lp.Workspace, basis *lp.WarmStart) (ReducePlacement, error) {
 	if err := res.validate(); err != nil {
 		return ReducePlacement{}, err
 	}
@@ -667,7 +683,7 @@ func solveReduce(res Resources, req ReduceRequest, includeCompute, certify bool,
 		row.commit(prob, lp.LE, req.WANBudget-total)
 	}
 
-	sol, err := solveLP(prob, ws, certify)
+	sol, err := solveLP(prob, ws, certify, req.Warm, basis)
 	if err != nil {
 		if certify {
 			return ReducePlacement{}, err
@@ -858,7 +874,7 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 			row.add(dv[x], 1)
 		}
 		row.commit(prob, lp.EQ, 1)
-		sol, err := solveLP(prob, ws, t.Check)
+		sol, err := solveLP(prob, ws, t.Check, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -890,7 +906,7 @@ func (t Tetrium) PlaceReverse(res Resources, mapReq MapRequest, redTasks int, re
 		NumTasks:    redTasks,
 		TaskCompute: redTaskCompute,
 		WANBudget:   -1,
-	}, true, t.Check, ws)
+	}, true, t.Check, ws, nil)
 	return mp, rp, err
 }
 
@@ -963,7 +979,7 @@ func placeMapWithDestShares(res Resources, req MapRequest, share []float64, cert
 		}
 		row.commit(prob, lp.EQ, share[x])
 	}
-	sol, err := solveLP(prob, ws, certify)
+	sol, err := solveLP(prob, ws, certify, nil, nil)
 	if err != nil {
 		if certify {
 			return MapPlacement{}, err

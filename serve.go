@@ -69,6 +69,10 @@ type EngineOptions struct {
 	// PlaceCacheSize bounds the placement memo cache in entries; 0 means
 	// the engine default (4096), negative disables caching.
 	PlaceCacheSize int
+	// BatchAdmit bounds how many queued admissions the event loop drains
+	// into one scheduling instance (batched placement solving); 0 means
+	// the engine default (8), 1 disables batching.
+	BatchAdmit int
 
 	// Check runs every LP solve under the certification layer.
 	Check bool
@@ -164,6 +168,7 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		EventCap:       o.EventCap,
 		SolveWorkers:   o.SolveWorkers,
 		PlaceCacheSize: o.PlaceCacheSize,
+		BatchAdmit:     o.BatchAdmit,
 		Faults:         inj,
 		Journal:        jnl,
 		Restore:        restore,

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-federation
 
-ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke
 
 build:
 	$(GO) build ./...
@@ -97,6 +97,24 @@ analytics-smoke:
 	$(GO) test -count=1 -run 'TestAnalyticsSmoke|TestFleetCLIUsage' ./cmd/tetrium-fleet
 	$(GO) test -count=1 -run 'TestStagedLoadgen' ./cmd/tetrium-serve
 	$(GO) test -count=1 -run 'TestAnalyticsDisabledHotPath|TestAnalyticsLiveOfflineParity' ./internal/engine
+
+# Federation gate: the 2-shard router round-trip (submit across shards,
+# kill + journal-restore shard 0, §4.2 drop, poll to done, merged
+# metrics/events/status, drain), then the router hammer and
+# shard-loss-mid-flight chaos tests plus the serve-level crash-restart
+# and -shards 1 bit-compat subprocess tests, all under the race
+# detector.
+federation-smoke:
+	$(GO) run ./cmd/tetrium-serve -smoke -shards 2 -journal $$(mktemp -d)/journal -time-scale 0.002
+	$(GO) test -race -count=1 -run 'TestRouterHammer|TestShardLossMidFlight' ./internal/federation
+	$(GO) test -race -count=1 -run 'TestFederationCrashRestart|TestShardsOneMatchesSingleEngine' ./cmd/tetrium-serve
+
+# Regenerate the federation scaling report: aggregate submit throughput
+# at 1 vs 2 vs 4 shards over a 4000-job resident fleet (best-of-3 per
+# configuration), written to BENCH_PR8.json.
+bench-federation:
+	TETRIUM_FED_BENCH_OUT=$(CURDIR)/BENCH_PR8.json $(GO) test -count=1 -run TestSubmitThroughputScaling -v -timeout 600s ./internal/federation
+	@grep speedup BENCH_PR8.json
 
 fmt:
 	gofmt -l -w .

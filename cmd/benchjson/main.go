@@ -185,14 +185,20 @@ func compare(beforePath, afterPath string, b, a map[string][]sample) Report {
 			row.AfterNsOp, row.AfterBytesOp, row.AfterAllocsOp = m.nsOp, m.bytesOp, m.allocsOp
 		}
 		if row.BeforeNsOp > 0 && row.AfterNsOp > 0 {
-			row.Speedup = round2(row.BeforeNsOp / row.AfterNsOp)
-			logSpeed += math.Log(row.Speedup)
-			nSpeed++
+			ratio := row.BeforeNsOp / row.AfterNsOp
+			row.Speedup = round2(ratio)
+			if lr, ok := geoTerm(ratio); ok {
+				logSpeed += lr
+				nSpeed++
+			}
 		}
 		if row.BeforeAllocsOp > 0 && row.AfterAllocsOp > 0 {
-			row.AllocsRatio = round2(row.BeforeAllocsOp / row.AfterAllocsOp)
-			logAllocs += math.Log(row.AllocsRatio)
-			nAllocs++
+			ratio := row.BeforeAllocsOp / row.AfterAllocsOp
+			row.AllocsRatio = round2(ratio)
+			if lr, ok := geoTerm(ratio); ok {
+				logAllocs += lr
+				nAllocs++
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, row)
 	}
@@ -228,4 +234,23 @@ func medians(ss []sample) sample {
 	}
 }
 
-func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+// geoTerm returns ln(ratio) and whether the ratio may contribute to a
+// geometric mean: it must be finite and strictly positive. A failed or
+// truncated benchmark line can yield a zero, infinite, or NaN ratio —
+// and a single such term would silently turn the whole report's
+// geomean into NaN, so those rows are reported but excluded here.
+func geoTerm(ratio float64) (float64, bool) {
+	if !(ratio > 0) || math.IsInf(ratio, 0) {
+		return 0, false
+	}
+	return math.Log(ratio), true
+}
+
+// round2 rounds to two decimals; non-finite or sub-0.01 values report
+// as 0 rather than overflowing the int64 conversion.
+func round2(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v*100+0.5 > math.MaxInt64 {
+		return 0
+	}
+	return float64(int64(v*100+0.5)) / 100
+}

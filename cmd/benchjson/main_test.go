@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareGeomeanSurvivesBadLines(t *testing.T) {
+	b := map[string][]sample{
+		"BenchmarkGood":  {{nsOp: 200, allocsOp: 10}},
+		"BenchmarkDead":  {{nsOp: 1e300, allocsOp: 4}},
+		"BenchmarkTiny":  {{nsOp: 1, allocsOp: 1}},
+		"BenchmarkOnlyB": {{nsOp: 50}},
+	}
+	a := map[string][]sample{
+		"BenchmarkGood":  {{nsOp: 100, allocsOp: 5}},
+		"BenchmarkDead":  {{nsOp: 1e-300, allocsOp: 4}}, // ratio overflows to +Inf
+		"BenchmarkTiny":  {{nsOp: 1e6, allocsOp: 1}},    // ratio rounds to 0
+		"BenchmarkOnlyA": {{nsOp: 70}},
+	}
+	rep := compare("b.txt", "a.txt", b, a)
+
+	if math.IsNaN(rep.GeomeanSpeedup) || math.IsInf(rep.GeomeanSpeedup, 0) {
+		t.Fatalf("GeomeanSpeedup = %v, want finite", rep.GeomeanSpeedup)
+	}
+	if math.IsNaN(rep.GeomeanAllocsRatio) || math.IsInf(rep.GeomeanAllocsRatio, 0) {
+		t.Fatalf("GeomeanAllocsRatio = %v, want finite", rep.GeomeanAllocsRatio)
+	}
+	// The +Inf ratio is excluded; the tiny-but-positive ratio still
+	// contributes its true (unrounded) value: geomean(2, 1e-6) ≈ 1.4e-3,
+	// which rounds to 0 in the report but must not be NaN.
+	for _, row := range rep.Benchmarks {
+		if math.IsNaN(row.Speedup) || math.IsInf(row.Speedup, 0) {
+			t.Fatalf("row %s Speedup = %v, want finite", row.Name, row.Speedup)
+		}
+	}
+}
+
+func TestCompareGeomeanHappyPath(t *testing.T) {
+	b := map[string][]sample{
+		"BenchmarkX": {{nsOp: 400, allocsOp: 20}},
+		"BenchmarkY": {{nsOp: 100, allocsOp: 8}},
+	}
+	a := map[string][]sample{
+		"BenchmarkX": {{nsOp: 100, allocsOp: 10}},
+		"BenchmarkY": {{nsOp: 100, allocsOp: 2}},
+	}
+	rep := compare("b.txt", "a.txt", b, a)
+	if got, want := rep.GeomeanSpeedup, 2.0; got != want { // geomean(4, 1)
+		t.Errorf("GeomeanSpeedup = %v, want %v", got, want)
+	}
+	if got, want := rep.GeomeanAllocsRatio, round2(math.Sqrt(8)); got != want { // geomean(2, 4)
+		t.Errorf("GeomeanAllocsRatio = %v, want %v", got, want)
+	}
+}
+
+func TestGeoTerm(t *testing.T) {
+	for _, tc := range []struct {
+		ratio float64
+		ok    bool
+	}{
+		{2, true}, {1e-9, true}, {0, false}, {-1, false},
+		{math.Inf(1), false}, {math.NaN(), false},
+	} {
+		if _, ok := geoTerm(tc.ratio); ok != tc.ok {
+			t.Errorf("geoTerm(%v) ok = %v, want %v", tc.ratio, ok, tc.ok)
+		}
+	}
+}
+
+func TestRound2NonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		if got := round2(v); got != 0 {
+			t.Errorf("round2(%v) = %v, want 0", v, got)
+		}
+	}
+	if got := round2(1.234); got != 1.23 {
+		t.Errorf("round2(1.234) = %v, want 1.23", got)
+	}
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tetrium"
+	"tetrium/internal/engine/api"
+	"tetrium/internal/federation"
+	"tetrium/internal/workload"
+)
+
+// runFederation is the -shards N > 1 server path: N shared-nothing
+// engine shards behind the federation router, same lifecycle as the
+// single-engine path (serve until SIGINT/SIGTERM, drain, stop).
+func runFederation(opts tetrium.EngineOptions, shards int, shardBy, clusterName, addr string, smoke bool, drainWait time.Duration) {
+	fed, err := tetrium.NewFederation(opts, shards, shardBy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+
+	if smoke {
+		err := runFederationSmoke(fed, opts.JournalPath != "")
+		fed.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrium-serve: federation smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("federation smoke: ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fed.Close()
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: tetrium.FederationHandler(fed)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("tetrium-serve: listening on %s (cluster %s, %d shards, shard-by %s)\n",
+		ln.Addr(), clusterName, shards, fed.ShardMapName())
+
+	select {
+	case err := <-errc:
+		fed.Close()
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("tetrium-serve: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := fed.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve: drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrium-serve: shutdown:", err)
+	}
+	fed.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tetrium-serve: stopped")
+}
+
+// runFederationSmoke is the sharded CI round-trip: serve the router on
+// an ephemeral port, submit jobs over the wire, kill and restore one
+// shard mid-flight (journaled deployments only), then prove every
+// admitted job reaches done exactly once and the aggregated endpoints
+// stay coherent throughout.
+func runFederationSmoke(fed *tetrium.Federation, journaled bool) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: tetrium.FederationHandler(fed)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	fmt.Printf("federation smoke: serving on %s (%d shards)\n", base, fed.NumShards())
+
+	if err := federationSmokeSteps(client, base, fed, journaled); err != nil {
+		srv.Close()
+		<-done
+		return err
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func federationSmokeSteps(client *http.Client, base string, fed *tetrium.Federation, journaled bool) error {
+	if body, err := smokeGet(client, base+"/healthz"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	} else if !strings.Contains(body, "ok") {
+		return fmt.Errorf("healthz replied %q", body)
+	}
+	if _, err := smokeGet(client, base+"/readyz"); err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+
+	cl, err := fetchCluster(client, base)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+
+	// Enough jobs that both shards hold work when one dies.
+	jobs := workload.Generate(workload.BigData(cl.N(), 10, 42))
+	var ids []int
+	for _, j := range jobs {
+		id, err := submitJob(client, base, j)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("federation smoke: submitted %d jobs\n", len(ids))
+
+	// The router must have spread the IDs over more than one shard.
+	seen := map[int]bool{}
+	for _, id := range ids {
+		seen[id%fed.NumShards()] = true
+	}
+	if len(seen) < 2 {
+		return fmt.Errorf("all %d jobs landed on one shard; shard map not spreading", len(ids))
+	}
+
+	// Kill shard 0 while jobs are in flight; its journal restores the
+	// admitted jobs and they re-run under their original IDs.
+	if journaled {
+		if err := fed.RestartShard(0); err != nil {
+			return fmt.Errorf("restart shard 0: %w", err)
+		}
+		fmt.Println("federation smoke: shard 0 killed and restored from journal")
+	}
+
+	// §4.2 update fans out to every shard slice.
+	if err := postDrop(client, base, "0:0.3"); err != nil {
+		return fmt.Errorf("cluster update: %w", err)
+	}
+
+	// Every admitted job must reach done — none lost to the shard kill.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			body, err := smokeGet(client, fmt.Sprintf("%s/v1/jobs/%d", base, id))
+			if err != nil {
+				return fmt.Errorf("poll job %d: %w", id, err)
+			}
+			var st api.JobStatus
+			if err := json.Unmarshal([]byte(body), &st); err != nil {
+				return fmt.Errorf("poll job %d: %w", id, err)
+			}
+			if st.State == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %d stuck in state %q", id, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Println("federation smoke: all jobs completed")
+
+	// Aggregated metrics must count every completion exactly once.
+	txt, err := smokeGet(client, base+"/metrics.txt")
+	if err != nil {
+		return fmt.Errorf("metrics.txt: %w", err)
+	}
+	wantDone := fmt.Sprintf("jobs.done %d", len(ids))
+	if !strings.Contains(txt, wantDone) {
+		return fmt.Errorf("/metrics.txt missing %q (lost or double-counted completions):\n%s", wantDone, txt)
+	}
+	prom, err := smokeGet(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !strings.Contains(prom, "tetrium_federation_shards") {
+		return fmt.Errorf("/metrics missing federation gauges:\n%s", prom)
+	}
+
+	// Per-shard state endpoint.
+	fedBody, err := smokeGet(client, base+"/v1/federation")
+	if err != nil {
+		return fmt.Errorf("federation status: %w", err)
+	}
+	var fs federation.FederationStatus
+	if err := json.Unmarshal([]byte(fedBody), &fs); err != nil {
+		return fmt.Errorf("federation status: %w", err)
+	}
+	if fs.Shards != fed.NumShards() || len(fs.Members) != fed.NumShards() {
+		return fmt.Errorf("federation status reports %d shards / %d members, want %d",
+			fs.Shards, len(fs.Members), fed.NumShards())
+	}
+
+	// Merged event stream with a composite cursor round-trip.
+	resp, err := client.Get(base + "/debug/events")
+	if err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	next := resp.Header.Get("Tetrium-Events-Next")
+	resp.Body.Close()
+	if strings.Count(next, ":") != fed.NumShards()-1 {
+		return fmt.Errorf("events cursor %q is not a %d-field vector", next, fed.NumShards())
+	}
+	if _, err := smokeGet(client, base+"/debug/events?since="+next); err != nil {
+		return fmt.Errorf("events since %q: %w", next, err)
+	}
+
+	// Graceful drain: no further admissions.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fed.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if _, err := submitJob(client, base, jobs[0]); err == nil {
+		return fmt.Errorf("submission accepted while draining")
+	}
+	return nil
+}

@@ -39,6 +39,19 @@
 // and exits non-zero on any failure:
 //
 //	tetrium-serve -smoke
+//
+// Sharded mode (-shards N with N > 1) runs N shared-nothing engine
+// shards behind the federation router: same API surface, aggregated
+// /v1/cluster and /metrics, merged /debug/events, plus GET
+// /v1/federation for per-shard state. -shards 1 (the default) is the
+// plain single-engine path, byte-identical to the pre-federation
+// server. With -journal each shard journals to <path>.shard<i>:
+//
+//	tetrium-serve -addr :8080 -shards 4 -shard-by hash -journal /var/lib/tetrium/j
+//
+// -smoke with -shards N > 1 runs the federation round-trip instead:
+// submit over the wire, kill and restore one shard mid-flight, verify
+// no admitted job is lost.
 package main
 
 import (
@@ -86,6 +99,9 @@ func main() {
 		analyticsSP = flag.String("analytics-snap", "", "fleet store snapshot path (empty: no snapshots)")
 		analyticsSE = flag.Duration("analytics-snap-every", 0, "fleet store snapshot interval (0: 30s default)")
 
+		shards  = flag.Int("shards", 1, "engine shards behind the federation router (1 = single engine)")
+		shardBy = flag.String("shard-by", "hash", "submission partitioning with -shards > 1: hash|site")
+
 		loadgen = flag.Bool("loadgen", false, "run as load generator against -target")
 		smoke   = flag.Bool("smoke", false, "run the in-process smoke check and exit")
 	)
@@ -119,7 +135,7 @@ func main() {
 	if scale <= 0 {
 		scale = -1 // NewEngine: negative → instant completion
 	}
-	eng, err := tetrium.NewEngine(tetrium.EngineOptions{
+	opts := tetrium.EngineOptions{
 		Cluster:   cl,
 		Scheduler: sched,
 		Rho:       *rho, RhoSet: true,
@@ -142,7 +158,14 @@ func main() {
 		Analytics:              *analytics,
 		AnalyticsSnapshotPath:  *analyticsSP,
 		AnalyticsSnapshotEvery: *analyticsSE,
-	})
+	}
+
+	if *shards > 1 {
+		runFederation(opts, *shards, *shardBy, *clusterName, *addr, *smoke, *drainWait)
+		return
+	}
+
+	eng, err := tetrium.NewEngine(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrium-serve:", err)
 		os.Exit(1)

@@ -136,6 +136,11 @@ type JobStatus struct {
 	Stages          []StageStatus `json:"stages,omitempty"`
 }
 
+// WireJob converts an engine job snapshot to its wire form. Exported
+// for the federation router, which aggregates several engines behind
+// the same API surface and must render identical bodies.
+func WireJob(st engine.JobStatus) JobStatus { return jobStatus(st) }
+
 func jobStatus(st engine.JobStatus) JobStatus {
 	out := JobStatus{
 		ID:              st.ID,
@@ -187,6 +192,10 @@ type ClusterStatus struct {
 	Draining   bool         `json:"draining"`
 }
 
+// WireCluster converts an engine cluster snapshot to its wire form —
+// the federation router's aggregated /v1/cluster uses the same shape.
+func WireCluster(cs engine.ClusterStatus) ClusterStatus { return clusterStatus(cs) }
+
 func clusterStatus(cs engine.ClusterStatus) ClusterStatus {
 	out := ClusterStatus{
 		ActiveJobs: cs.ActiveJobs,
@@ -223,6 +232,10 @@ type UpdateRequest struct {
 type UpdateResponse struct {
 	StagesReplaced int `json:"stages_replaced"`
 }
+
+// ToEngine converts the wire update to the engine's form. Exported for
+// the federation router's update fan-out.
+func (u SiteUpdate) ToEngine() engine.SiteUpdate { return u.toEngine() }
 
 func (u SiteUpdate) toEngine() engine.SiteUpdate {
 	out := engine.SiteUpdate{Site: u.Site, Slots: -1, Frac: u.Frac}

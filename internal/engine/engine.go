@@ -167,6 +167,10 @@ type Engine struct {
 	pool        *solvePool
 	replaying   atomic.Bool   // journal replay still pending on the loop
 	faultTimers []*time.Timer // injector timeline; stopped in Close
+
+	timerMu sync.Mutex
+	closing bool
+	timers  map[*time.Timer]struct{} // armed completion/probe timers; stopped in Close
 }
 
 // New validates the configuration and starts the event loop.
@@ -300,6 +304,32 @@ func (e *Engine) inject(fn func()) {
 	}
 }
 
+// afterFunc arms a timer that cannot outlive the engine: Close stops
+// every armed timer. Without this, a closed engine's whole state graph
+// stays reachable from far-future completion timers (stage durations
+// can be hours), which pins memory for embedders that cycle engines —
+// the federation's shard restarts, benchmarks, tests.
+func (e *Engine) afterFunc(d time.Duration, fn func()) {
+	e.timerMu.Lock()
+	defer e.timerMu.Unlock()
+	if e.closing {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		// Taking the lock orders this callback after registration below,
+		// so t is always assigned and visible here.
+		e.timerMu.Lock()
+		delete(e.timers, t)
+		e.timerMu.Unlock()
+		fn()
+	})
+	if e.timers == nil {
+		e.timers = make(map[*time.Timer]struct{})
+	}
+	e.timers[t] = struct{}{}
+}
+
 // now is the engine's event timestamp: wall seconds since start.
 func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
 
@@ -312,6 +342,13 @@ func (e *Engine) Close() {
 	for _, t := range e.faultTimers {
 		t.Stop()
 	}
+	e.timerMu.Lock()
+	e.closing = true
+	for t := range e.timers {
+		t.Stop()
+	}
+	e.timers = nil
+	e.timerMu.Unlock()
 	// The loop has exited (stopped is closed), so touching its registry
 	// here is the only writer left. Queued solves discarded by the pool
 	// are surfaced rather than silently vanishing.
@@ -460,6 +497,15 @@ func (e *Engine) MetricsPrometheus() ([]byte, error) {
 	return e.render(func(s *state) ([]byte, error) { return renderProm(s.rec.Registry()) })
 }
 
+// MetricsSnapshot returns a deep copy of the metrics registry, built on
+// the event loop so it is a consistent point-in-time view. The
+// federation router merges shard snapshots into one fleet-wide scrape.
+func (e *Engine) MetricsSnapshot() (*obs.Registry, error) {
+	var out *obs.Registry
+	err := e.do(func() { out = e.st.rec.Registry().Clone() })
+	return out, err
+}
+
 func (e *Engine) render(f func(*state) ([]byte, error)) ([]byte, error) {
 	var (
 		out  []byte
@@ -490,17 +536,30 @@ func (e *Engine) Ready() (bool, string) {
 	return true, "ready"
 }
 
+// coldRetrySeconds is the Retry-After hint handed out while the 30s
+// drain window has no completion samples yet: with zero evidence of
+// drain progress, suggesting a near-instant retry just reflects the
+// overload straight back at the engine. Five seconds is long enough to
+// let the first completions land and the estimate take over.
+const coldRetrySeconds = 5
+
 // RetryAfter suggests how many seconds a rejected submitter should wait
 // before retrying, from the current queue overflow and the recent drain
-// rate. Clamped to [1, 60].
+// rate. Before any completion has been observed (cold start under
+// overload) the hint floors at coldRetrySeconds rather than echoing the
+// raw overflow, which for a single-job overflow would invite an
+// immediate retry against a queue that has demonstrably drained
+// nothing. Clamped to [1, 60].
 func (e *Engine) RetryAfter() int {
 	var (
 		overflow int
 		rate     float64
+		sampled  bool
 	)
 	if err := e.do(func() {
 		overflow = e.st.activeCount - e.cfg.MaxPending + 1
 		rate = e.st.drainRate(time.Now())
+		sampled = len(e.st.doneWall) > 0
 	}); err != nil {
 		return 1
 	}
@@ -510,6 +569,8 @@ func (e *Engine) RetryAfter() int {
 	secs := overflow
 	if rate > 0 {
 		secs = int(math.Ceil(float64(overflow) / rate))
+	} else if !sampled && secs < coldRetrySeconds {
+		secs = coldRetrySeconds
 	}
 	if secs < 1 {
 		secs = 1

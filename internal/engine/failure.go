@@ -132,7 +132,7 @@ func (s *state) scheduleSpecCheck(js *jobState, sr *stageRun, gen int) {
 		return
 	}
 	wait := time.Duration(s.specThreshold() * float64(sr.expectWall))
-	time.AfterFunc(wait, func() {
+	s.e.afterFunc(wait, func() {
 		s.e.inject(func() { s.specCheck(js, sr, gen) })
 	})
 }
@@ -188,7 +188,7 @@ func (s *state) specCheck(js *jobState, sr *stageRun, gen int) {
 		if wait <= 0 {
 			wait = time.Millisecond
 		}
-		time.AfterFunc(wait, func() {
+		s.e.afterFunc(wait, func() {
 			s.e.inject(func() { s.specCheck(js, sr, gen) })
 		})
 		return
@@ -204,7 +204,7 @@ func (s *state) specCheck(js *jobState, sr *stageRun, gen int) {
 	s.emit(obs.StageSpeculate{T: s.now(), Job: js.id, Stage: sr.idx, Site: best, Tasks: slots})
 	// The duplicate runs at estimate speed (re-running the straggler's
 	// environment is the one thing known not to help).
-	time.AfterFunc(sr.expectWall, func() {
+	s.e.afterFunc(sr.expectWall, func() {
 		s.e.inject(func() { s.specDone(js, sr, gen) })
 	})
 }
@@ -280,7 +280,7 @@ func (s *state) dispatchSolve(js *jobState, sr *stageRun, pr placeRequest, key p
 		})
 	})
 	if deadline := s.e.cfg.SolveDeadline; deadline > 0 {
-		time.AfterFunc(deadline, func() {
+		s.e.afterFunc(deadline, func() {
 			s.e.inject(func() { s.solveDeadline(js, sr, pr, gen, seq, attempt) })
 		})
 	}
@@ -320,7 +320,7 @@ func (s *state) solveDeadline(js *jobState, sr *stageRun, pr placeRequest, gen, 
 		backoff += time.Duration(s.rng.Int63n(int64(backoff)/2 + 1))
 		sr.solveSeq++
 		newSeq := sr.solveSeq
-		time.AfterFunc(backoff, func() {
+		s.e.afterFunc(backoff, func() {
 			s.e.inject(func() {
 				if sr.solveSeq != newSeq || js.terminal() || sr.phase != stageReady || !sr.deadlineFB {
 					return

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"tetrium/internal/cluster"
+)
+
+// TestRetryAfterColdStart: under overload before any job has completed,
+// the 30s drain window has no samples, so the Retry-After hint must not
+// suggest an effectively instant retry. It floors at coldRetrySeconds
+// and stays inside the [1, 60] clamp.
+func TestRetryAfterColdStart(t *testing.T) {
+	cfg := testConfig(cluster.EC2EightRegions())
+	cfg.MaxPending = 2
+	cfg.TimeScale = 1 // estimated seconds ≈ wall seconds: nothing completes during the test
+	e := mustEngine(t, cfg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(oneStageJob(0, 2, 3600)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if _, err := e.Submit(oneStageJob(0, 2, 3600)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit: err = %v, want ErrQueueFull", err)
+	}
+
+	secs := e.RetryAfter()
+	if secs < coldRetrySeconds {
+		t.Errorf("cold-start RetryAfter = %ds, want >= %ds (no drain samples yet)", secs, coldRetrySeconds)
+	}
+	if secs > 60 {
+		t.Errorf("cold-start RetryAfter = %ds, beyond the 60s clamp", secs)
+	}
+}
+
+// TestRetryAfterUsesDrainRateWhenWarm: once completions land in the
+// window, the hint derives from the measured drain rate again (and a
+// small overflow against a fast drain yields a short wait, not the
+// cold-start floor).
+func TestRetryAfterUsesDrainRateWhenWarm(t *testing.T) {
+	cfg := testConfig(cluster.EC2EightRegions())
+	cfg.MaxPending = 4
+	cfg.TimeScale = 0 // instant completion: completions land immediately
+	e := mustEngine(t, cfg)
+
+	for i := 0; i < 4; i++ {
+		if _, err := e.Submit(oneStageJob(0, 1, 1)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	drainOK(t, e)
+
+	secs := e.RetryAfter()
+	if secs < 1 || secs > 60 {
+		t.Errorf("warm RetryAfter = %ds, outside [1,60]", secs)
+	}
+	if secs >= coldRetrySeconds {
+		t.Errorf("warm RetryAfter = %ds: drain rate is high and overflow tiny, expected < %ds", secs, coldRetrySeconds)
+	}
+}

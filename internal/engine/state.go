@@ -845,7 +845,7 @@ func (s *state) flushBatch() {
 		if deadline := s.e.cfg.SolveDeadline; deadline > 0 {
 			for _, it := range group {
 				js, sr, pr, seq := it.js, it.sr, it.pr, it.seq
-				time.AfterFunc(deadline, func() {
+				s.e.afterFunc(deadline, func() {
 					s.e.inject(func() { s.solveDeadline(js, sr, pr, gen, seq, 0) })
 				})
 			}
@@ -1001,7 +1001,7 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 	if s.e.cfg.TimeScale <= 0 || wall <= 0 {
 		s.todo = append(s.todo, func() { s.completeStage(js, sr, gen) })
 	} else {
-		time.AfterFunc(wall, func() {
+		s.e.afterFunc(wall, func() {
 			s.e.inject(func() { s.completeStage(js, sr, gen) })
 		})
 	}

@@ -1,0 +1,176 @@
+package federation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/engine"
+	"tetrium/internal/fault"
+	"tetrium/internal/place"
+	"tetrium/internal/sched"
+)
+
+// TestShardLossMidFlight is the federation chaos check: a journaled
+// 2-shard federation with stragglers injected loses shard 0 abruptly
+// while jobs are in flight. The shard's journal restores its admitted
+// jobs, and every job ever accepted by the router — on either shard —
+// must reach done exactly once, under its original federation ID.
+func TestShardLossMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	member := func(shard int) (engine.Config, error) {
+		inj, err := fault.Parse("straggle:p=0.2,x=2", 7+int64(shard))
+		if err != nil {
+			return engine.Config{}, err
+		}
+		return engine.Config{
+			Placer:    place.Tetrium{},
+			Policy:    sched.SRPT,
+			Rho:       1,
+			Eps:       1,
+			TimeScale: 1e-3, // stages take a few ms: jobs are in flight when the shard dies
+			Faults:    inj,
+		}, nil
+	}
+	f := mustFed(t, Config{
+		Shards:      2,
+		Cluster:     cluster.EC2EightRegions(),
+		Member:      member,
+		JournalPath: jpath,
+	})
+
+	const n = 24
+	accepted := map[int]string{} // federation ID -> name
+	for i := 0; i < n; i++ {
+		job := benchJob(i, 2)
+		st, err := f.Submit(job)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if _, dup := accepted[st.ID]; dup {
+			t.Fatalf("duplicate federation ID %d", st.ID)
+		}
+		accepted[st.ID] = job.Name
+	}
+
+	// Kill shard 0 mid-flight and restore it from its journal. The
+	// router keeps serving on shard 1 throughout.
+	if err := f.RestartShard(0); err != nil {
+		t.Fatalf("RestartShard: %v", err)
+	}
+	if _, err := os.Stat(f.ShardJournalPath(0)); err != nil {
+		t.Fatalf("shard 0 journal missing: %v", err)
+	}
+
+	// Admission still works while the fleet is degraded or recovering.
+	st, err := f.Submit(benchJob(n, 2))
+	if err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	accepted[st.ID] = fmt.Sprintf("job-%d", n)
+
+	// Every accepted job reaches done exactly once: same ID, no extras,
+	// no duplicates, none lost with the killed shard.
+	deadline := time.Now().Add(60 * time.Second)
+	for id, name := range accepted {
+		for {
+			js, err := f.Job(id)
+			if err != nil {
+				t.Fatalf("Job(%d): %v", id, err)
+			}
+			if js.Name != name {
+				t.Fatalf("job %d restored as %q, want %q", id, js.Name, name)
+			}
+			if js.Phase.String() == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in %s after shard loss", id, js.Phase)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	sts, err := f.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(sts) != len(accepted) {
+		t.Fatalf("federation lists %d jobs, want %d (lost or duplicated across restart)", len(sts), len(accepted))
+	}
+	seen := map[int]bool{}
+	for _, js := range sts {
+		if seen[js.ID] {
+			t.Fatalf("job %d listed twice", js.ID)
+		}
+		seen[js.ID] = true
+		if _, ok := accepted[js.ID]; !ok {
+			t.Fatalf("phantom job %d appeared after restart", js.ID)
+		}
+	}
+
+	if got := f.restarts.Load(); got != 1 {
+		t.Errorf("restart counter = %d, want 1", got)
+	}
+	reg, err := f.MetricsRegistry()
+	if err != nil {
+		t.Fatalf("MetricsRegistry: %v", err)
+	}
+	if got := reg.Counter("federation.shard_restarts").Value(); got != 1 {
+		t.Errorf("federation.shard_restarts = %g, want 1", got)
+	}
+}
+
+// TestRestartUnjournaledShardKeepsServing: without a journal a killed
+// shard legitimately forgets its in-flight jobs (a crash without
+// durability), but the router must stay coherent: the surviving
+// shard's jobs remain, the restarted shard serves fresh admissions,
+// and aggregation never errors.
+func TestRestartUnjournaledShardKeepsServing(t *testing.T) {
+	f := mustFed(t, Config{
+		Shards:  2,
+		Cluster: cluster.EC2EightRegions(),
+		Member:  testMember(0, 0),
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := f.Submit(benchJob(i, 1)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	drainFedShard(t, f, 1)
+	if err := f.RestartShard(0); err != nil {
+		t.Fatalf("RestartShard: %v", err)
+	}
+	if _, err := f.Submit(benchJob(100, 1)); err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if _, err := f.Jobs(); err != nil {
+		t.Fatalf("Jobs after restart: %v", err)
+	}
+	if _, err := f.Cluster(); err != nil {
+		t.Fatalf("Cluster after restart: %v", err)
+	}
+}
+
+// drainFedShard drains a single shard (the chaos tests restart the
+// other one, so a whole-fleet drain would stop admission).
+func drainFedShard(t *testing.T, f *Federation, i int) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			cs, err := f.Shard(i).Cluster()
+			if err != nil || cs.ActiveJobs == 0 || time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+}

@@ -1,0 +1,180 @@
+package federation
+
+import (
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/engine"
+)
+
+// TestRouterHammer drives every router surface concurrently — meant for
+// the race detector: parallel submitters, §4.2 cluster updates, metrics
+// scrapes, merged event polls, job listings, and a shard kill/restore
+// in the middle. Afterwards every accepted job must be listed exactly
+// once and completed.
+func TestRouterHammer(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "journal")
+	f := mustFed(t, Config{
+		Shards:      2,
+		Cluster:     cluster.EC2EightRegions(),
+		Member:      testMember(0, 0),
+		JournalPath: jpath,
+	})
+
+	const (
+		submitters    = 4
+		jobsPerWorker = 40
+	)
+	var (
+		wg       sync.WaitGroup
+		accepted atomic.Int64
+		stop     = make(chan struct{})
+	)
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerWorker; i++ {
+				if _, err := f.Submit(benchJob(w*jobsPerWorker+i, 1)); err != nil {
+					t.Errorf("submitter %d: %v", w, err)
+					return
+				}
+				accepted.Add(1)
+			}
+		}(w)
+	}
+
+	// §4.2 updates: non-cumulative fractional drops against original
+	// capacity, so repeated updates never starve the fleet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fracs := []float64{0.3, 0.1, 0.0, 0.2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			up := engine.SiteUpdate{Site: i % 3, Slots: -1, Frac: fracs[i%len(fracs)]}
+			if _, err := f.UpdateCluster([]engine.SiteUpdate{up}); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Metrics scraper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg, err := f.MetricsRegistry()
+			if err != nil {
+				t.Errorf("metrics: %v", err)
+				return
+			}
+			reg.WritePrometheus(io.Discard, "tetrium")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Merged event stream poller with a moving cursor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var cursor []int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, next, _, err := f.EventsSince(cursor)
+			if err != nil {
+				t.Errorf("events: %v", err)
+				return
+			}
+			cursor = next
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Listings and per-shard status.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := f.Jobs(); err != nil {
+				t.Errorf("jobs: %v", err)
+				return
+			}
+			f.Ready()
+			f.RetryAfter()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Kill and restore one shard while everything above is running.
+	time.Sleep(20 * time.Millisecond)
+	if err := f.RestartShard(1); err != nil {
+		t.Fatalf("RestartShard: %v", err)
+	}
+
+	// Wait for submitters, then stop the background load.
+	doneSubmit := make(chan struct{})
+	go func() { wg.Wait(); close(doneSubmit) }()
+	waitSubmitters := time.After(60 * time.Second)
+	for accepted.Load() < submitters*jobsPerWorker {
+		select {
+		case <-waitSubmitters:
+			t.Fatalf("submitters stalled at %d/%d", accepted.Load(), submitters*jobsPerWorker)
+		case <-time.After(time.Millisecond):
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	<-doneSubmit
+	if t.Failed() {
+		return
+	}
+
+	drainFed(t, f)
+	sts, err := f.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	want := int(accepted.Load())
+	if len(sts) != want {
+		t.Fatalf("federation lists %d jobs, want %d", len(sts), want)
+	}
+	seen := map[int]bool{}
+	for _, js := range sts {
+		if seen[js.ID] {
+			t.Fatalf("job %d listed twice", js.ID)
+		}
+		seen[js.ID] = true
+		if js.Phase.String() != "done" {
+			t.Errorf("job %d phase %s, want done", js.ID, js.Phase)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+// Registry cloning and merging. The federation router aggregates the
+// metrics of N shard engines into one coherent scrape: each shard hands
+// out a Clone of its registry (built on the shard's event loop, so the
+// copy is consistent), and the router folds the clones into a fresh
+// registry with Merge.
+//
+// Merge semantics, chosen for fleet aggregation:
+//
+//   - counters add (totals across shards are sums);
+//   - gauges add (every engine gauge — pending jobs — is an extensive
+//     quantity, so the fleet value is the sum of the shard values);
+//   - histograms with identical bucket layouts merge bucket-wise and
+//     append raw samples, so merged quantiles stay exact; a layout
+//     mismatch falls back to re-observing the source's samples;
+//   - series interleave by timestamp (same-instant samples keep the
+//     source's value, matching Series.Append's collapse rule). Callers
+//     that want per-shard series distinguishable should rename before
+//     merging rather than interleave.
+
+// Clone returns a deep copy of the registry. The copy shares nothing
+// with the original, so it may be handed across goroutines (the engine
+// builds clones on its event loop and returns them to callers).
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	for name, c := range r.counters {
+		out.counters[name] = &Counter{v: c.v}
+	}
+	for name, g := range r.gauges {
+		out.gauges[name] = &Gauge{v: g.v, set: g.set}
+	}
+	for name, h := range r.hists {
+		out.hists[name] = &Histogram{
+			start:   h.start,
+			growth:  h.growth,
+			buckets: append([]int64(nil), h.buckets...),
+			samples: append([]float64(nil), h.samples...),
+			sum:     h.sum,
+			min:     h.min,
+			max:     h.max,
+		}
+	}
+	for name, s := range r.series {
+		out.series[name] = &Series{
+			ts: append([]float64(nil), s.ts...),
+			vs: append([]float64(nil), s.vs...),
+		}
+	}
+	for name, text := range r.help {
+		out.help[name] = text
+	}
+	return out
+}
+
+// Merge folds src into r under the aggregation semantics above. src is
+// not modified; help strings are copied only where r has none.
+func (r *Registry) Merge(src *Registry) {
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range src.gauges {
+		if !g.set {
+			continue
+		}
+		dst := r.Gauge(name)
+		dst.Set(dst.v + g.v)
+	}
+	for name, h := range src.hists {
+		if len(h.samples) == 0 {
+			// Still create the histogram so merged scrapes expose the
+			// same metric set as the shards.
+			r.Histogram(name, h.start, h.growth, len(h.buckets)-1)
+			continue
+		}
+		dst := r.Histogram(name, h.start, h.growth, len(h.buckets)-1)
+		if dst.start == h.start && dst.growth == h.growth && len(dst.buckets) == len(h.buckets) {
+			if len(dst.samples) == 0 || h.min < dst.min {
+				dst.min = h.min
+			}
+			if len(dst.samples) == 0 || h.max > dst.max {
+				dst.max = h.max
+			}
+			for i, n := range h.buckets {
+				dst.buckets[i] += n
+			}
+			dst.samples = append(dst.samples, h.samples...)
+			dst.sum += h.sum
+			continue
+		}
+		for _, v := range h.samples {
+			dst.Observe(v)
+		}
+	}
+	for name, s := range src.series {
+		dst := r.Series(name)
+		dst.ts, dst.vs = mergeSeries(dst.ts, dst.vs, s.ts, s.vs)
+	}
+	for name, text := range src.help {
+		if _, ok := r.help[name]; !ok {
+			r.help[name] = text
+		}
+	}
+}
+
+// mergeSeries interleaves two time-sorted sample streams. Equal
+// timestamps keep the b-side value, mirroring Series.Append's collapse
+// of same-instant updates (the merged-in sample is the later writer).
+func mergeSeries(ats, avs, bts, bvs []float64) (ts, vs []float64) {
+	ts = make([]float64, 0, len(ats)+len(bts))
+	vs = make([]float64, 0, len(avs)+len(bvs))
+	i, j := 0, 0
+	push := func(t, v float64) {
+		if n := len(ts); n > 0 && ts[n-1] == t {
+			vs[n-1] = v
+			return
+		}
+		ts = append(ts, t)
+		vs = append(vs, v)
+	}
+	for i < len(ats) && j < len(bts) {
+		switch {
+		case ats[i] < bts[j]:
+			push(ats[i], avs[i])
+			i++
+		case ats[i] > bts[j]:
+			push(bts[j], bvs[j])
+			j++
+		default: // tie: consume both, keep the merged-in value
+			push(bts[j], bvs[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(ats); i++ {
+		push(ats[i], avs[i])
+	}
+	for ; j < len(bts); j++ {
+		push(bts[j], bvs[j])
+	}
+	return ts, vs
+}

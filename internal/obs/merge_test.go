@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", 1, 2, 4).Observe(5)
+	r.Series("s").Append(1, 2)
+	r.SetHelp("c", "a counter")
+
+	cp := r.Clone()
+	r.Counter("c").Add(10)
+	r.Gauge("g").Set(100)
+	r.Histogram("h", 1, 2, 4).Observe(50)
+	r.Series("s").Append(2, 3)
+
+	if got := cp.Counter("c").Value(); got != 3 {
+		t.Errorf("cloned counter = %g, want 3", got)
+	}
+	if got := cp.Gauge("g").Value(); got != 7 {
+		t.Errorf("cloned gauge = %g, want 7", got)
+	}
+	if got := cp.Histogram("h", 1, 2, 4).Count(); got != 1 {
+		t.Errorf("cloned histogram count = %d, want 1", got)
+	}
+	if got := cp.Series("s").Len(); got != 1 {
+		t.Errorf("cloned series len = %d, want 1", got)
+	}
+	if cp.help["c"] != "a counter" {
+		t.Errorf("cloned help = %q", cp.help["c"])
+	}
+}
+
+func TestMergeCountersGaugesHistograms(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("jobs").Add(2)
+	b.Counter("jobs").Add(5)
+	b.Counter("only_b").Add(1)
+	a.Gauge("pending").Set(3)
+	b.Gauge("pending").Set(4)
+
+	ha := a.Histogram("lat", 1, 2, 8)
+	hb := b.Histogram("lat", 1, 2, 8)
+	for _, v := range []float64{1, 2, 3} {
+		ha.Observe(v)
+	}
+	for _, v := range []float64{10, 20} {
+		hb.Observe(v)
+	}
+
+	a.Merge(b)
+	if got := a.Counter("jobs").Value(); got != 7 {
+		t.Errorf("merged counter = %g, want 7", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 1 {
+		t.Errorf("merged only_b = %g, want 1", got)
+	}
+	if got := a.Gauge("pending").Value(); got != 7 {
+		t.Errorf("merged gauge = %g, want 7 (sum)", got)
+	}
+	h := a.Histogram("lat", 1, 2, 8)
+	if h.Count() != 5 {
+		t.Errorf("merged histogram count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 36 {
+		t.Errorf("merged histogram sum = %g, want 36", h.Sum())
+	}
+	if h.min != 1 || h.max != 20 {
+		t.Errorf("merged min/max = %g/%g, want 1/20", h.min, h.max)
+	}
+	// Bucket totals must equal the sample count (nothing lost or
+	// double-counted in the bucket-wise path).
+	var total int64
+	for _, n := range h.buckets {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("merged bucket total = %d, want 5", total)
+	}
+	q := h.Quantiles(50)
+	if q[0] != 3 {
+		t.Errorf("merged p50 = %g, want 3", q[0])
+	}
+}
+
+func TestMergeHistogramLayoutMismatch(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Histogram("h", 1, 2, 4).Observe(2)
+	b.Histogram("h", 0.5, 3, 6).Observe(9)
+	a.Merge(b)
+	h := a.Histogram("h", 1, 2, 4)
+	if h.Count() != 2 || h.Sum() != 11 {
+		t.Errorf("mismatched-layout merge: count=%d sum=%g, want 2/11", h.Count(), h.Sum())
+	}
+	var total int64
+	for _, n := range h.buckets {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("bucket total = %d, want 2", total)
+	}
+}
+
+func TestMergeEmptyHistogramStillExposed(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	b.Histogram("quiet", 1, 2, 4)
+	a.Merge(b)
+	var buf bytes.Buffer
+	if _, err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quiet") {
+		t.Errorf("merged registry lost empty histogram:\n%s", buf.String())
+	}
+}
+
+func TestMergeSeriesInterleaves(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	sa := a.Series("s")
+	sa.Append(1, 10)
+	sa.Append(3, 30)
+	sb := b.Series("s")
+	sb.Append(2, 20)
+	sb.Append(3, 99) // same-instant: merged-in value wins
+	sb.Append(4, 40)
+	a.Merge(b)
+	s := a.Series("s")
+	wantT := []float64{1, 2, 3, 4}
+	wantV := []float64{10, 20, 99, 40}
+	if s.Len() != len(wantT) {
+		t.Fatalf("merged series len = %d, want %d", s.Len(), len(wantT))
+	}
+	for i := range wantT {
+		ts, vs := s.At(i)
+		if ts != wantT[i] || vs != wantV[i] {
+			t.Errorf("sample %d = (%g,%g), want (%g,%g)", i, ts, vs, wantT[i], wantV[i])
+		}
+	}
+}
+
+func TestMergePreservesNaNFreedom(t *testing.T) {
+	// A merge of empty registries must not synthesize NaN values.
+	a := NewRegistry()
+	a.Merge(NewRegistry())
+	var buf bytes.Buffer
+	if _, err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("merge synthesized NaN:\n%s", buf.String())
+	}
+}

@@ -1,12 +1,14 @@
 package tetrium
 
 import (
+	"errors"
 	"net/http"
 	"time"
 
 	"tetrium/internal/engine"
 	"tetrium/internal/engine/api"
 	"tetrium/internal/fault"
+	"tetrium/internal/federation"
 	"tetrium/internal/fleet"
 	"tetrium/internal/journal"
 )
@@ -198,3 +200,99 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 // GET /metrics (Prometheus), GET /metrics.txt, GET /debug/events
 // (JSONL), GET /healthz (liveness), GET /readyz (readiness).
 func EngineHandler(e *Engine) http.Handler { return api.Handler(e) }
+
+// Federation is the sharded multi-engine service: N shared-nothing
+// engine shards (each owning a 1/N capacity slice of the cluster and,
+// when journaled, its own journal file) behind a thin router that
+// load-balances admission, fans out §4.2 updates, and aggregates jobs,
+// metrics, readiness, and debug events into one API surface. Create
+// one with NewFederation; serve it with FederationHandler.
+type Federation = federation.Federation
+
+// NewFederation starts a sharded scheduling service: `shards` engine
+// shards configured from the same EngineOptions that NewEngine takes.
+// shardBy picks the submission partitioning: "hash" (default) spreads
+// jobs by name hash, "site" routes each job to the shard owning its
+// dominant input site. Each shard builds its own placer and solve
+// pool; JournalPath becomes a per-shard prefix (<path>.shard<i>);
+// FaultSpec is injected into every shard with seed FaultSeed+shard.
+// The fleet-analytics store is not yet supported behind the router —
+// set Analytics on a single engine instead.
+//
+// With shards == 1 the engine path is strictly more capable; use
+// NewEngine (cmd/tetrium-serve does exactly that, keeping -shards 1
+// bit-compatible with the pre-federation single-engine service).
+func NewFederation(o EngineOptions, shards int, shardBy string) (*Federation, error) {
+	if shards < 2 {
+		return nil, errors.New("tetrium: NewFederation wants shards >= 2; use NewEngine for a single engine")
+	}
+	if o.Analytics {
+		return nil, errors.New("tetrium: fleet analytics is not supported behind the federation router yet")
+	}
+	if o.Cluster == nil {
+		return nil, errors.New("tetrium: Cluster is required")
+	}
+	smap, err := federation.ParseShardMap(shardBy, shards)
+	if err != nil {
+		return nil, err
+	}
+	rho := 1.0
+	if o.RhoSet {
+		rho = o.Rho
+	}
+	eps := 1.0
+	if o.EpsSet {
+		eps = o.Eps
+	}
+	scale := o.TimeScale
+	switch {
+	case scale == 0:
+		scale = 1e-3
+	case scale < 0:
+		scale = 0
+	}
+	n := o.Cluster.N()
+	member := func(shard int) (engine.Config, error) {
+		placer, policy, err := plannerFor(o.Scheduler, n, o.Check)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		cfg := engine.Config{
+			Placer:         placer,
+			Policy:         policy,
+			Rho:            rho,
+			Eps:            eps,
+			UpdateK:        o.UpdateK,
+			MaxPending:     o.MaxPending,
+			TimeScale:      scale,
+			EventCap:       o.EventCap,
+			SolveWorkers:   o.SolveWorkers,
+			PlaceCacheSize: o.PlaceCacheSize,
+			BatchAdmit:     o.BatchAdmit,
+			Speculate:      o.Speculate,
+			SolveDeadline:  o.SolveDeadline,
+		}
+		if o.FaultSpec != "" {
+			inj, err := fault.Parse(o.FaultSpec, o.FaultSeed+int64(shard))
+			if err != nil {
+				return engine.Config{}, err
+			}
+			cfg.Faults = inj
+		}
+		return cfg, nil
+	}
+	return federation.New(federation.Config{
+		Shards:        shards,
+		Cluster:       o.Cluster,
+		ShardMap:      smap,
+		Member:        member,
+		JournalPath:   o.JournalPath,
+		SnapshotEvery: o.SnapshotEvery,
+	})
+}
+
+// FederationHandler serves a Federation over HTTP/JSON with the same
+// surface as EngineHandler plus GET /v1/federation (per-shard state);
+// /debug/events merges the shard streams with a per-shard cursor
+// vector.
+func FederationHandler(f *Federation) http.Handler { return federation.Handler(f) }

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-federation
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-federation bench-replace bench-replace-smoke
 
-ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-replace-smoke
 
 build:
 	$(GO) build ./...
@@ -115,6 +115,29 @@ federation-smoke:
 bench-federation:
 	TETRIUM_FED_BENCH_OUT=$(CURDIR)/BENCH_PR8.json $(GO) test -count=1 -run TestSubmitThroughputScaling -v -timeout 600s ./internal/federation
 	@grep speedup BENCH_PR8.json
+
+# Regenerate the incremental re-placement report (BENCH_PR9.json):
+# cluster-update latency over a 2048-job resident fleet at 1/2/4 shards,
+# full replaceAll (TETRIUM_REPLACE_MODE=full, the pre-PR 9 baseline)
+# vs dirty-set async (incr). benchjson gates the geomean at ≥ 1.0 so a
+# regressed report can never be committed silently; the PR 9 acceptance
+# bar is ≥ 5×.
+bench-replace:
+	TETRIUM_REPLACE_MODE=full $(GO) test -run '^$$' -bench BenchmarkClusterUpdate -benchtime=5x -count=5 -timeout 1200s ./internal/federation | tee bench/pr9_full.txt
+	TETRIUM_REPLACE_MODE=incr $(GO) test -run '^$$' -bench BenchmarkClusterUpdate -benchtime=5x -count=5 -timeout 1200s ./internal/federation | tee bench/pr9_incr.txt
+	$(GO) run ./cmd/benchjson -before bench/pr9_full.txt -after bench/pr9_incr.txt -min-speedup 1.0 -out BENCH_PR9.json
+	@grep geomean BENCH_PR9.json
+
+# CI-sized version of bench-replace: a small resident fleet, two
+# iterations, throwaway output files — proves the harness runs and that
+# incremental §4.2 is not slower than the full scan it replaced.
+bench-replace-smoke:
+	@dir=$$(mktemp -d); \
+	TETRIUM_REPLACE_MODE=full TETRIUM_REPLACE_RESIDENT=160 $(GO) test -run '^$$' -bench BenchmarkClusterUpdate -benchtime=2x ./internal/federation > $$dir/full.txt && \
+	TETRIUM_REPLACE_MODE=incr TETRIUM_REPLACE_RESIDENT=160 $(GO) test -run '^$$' -bench BenchmarkClusterUpdate -benchtime=2x ./internal/federation > $$dir/incr.txt && \
+	$(GO) run ./cmd/benchjson -before $$dir/full.txt -after $$dir/incr.txt -min-speedup 1.0 -out $$dir/smoke.json && \
+	grep geomean $$dir/smoke.json; \
+	rc=$$?; rm -rf $$dir; exit $$rc
 
 fmt:
 	gofmt -l -w .

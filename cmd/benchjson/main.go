@@ -61,6 +61,7 @@ func main() {
 	before := flag.String("before", "", "baseline `go test -bench` output file")
 	after := flag.String("after", "", "current `go test -bench` output file")
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	minSpeedup := flag.Float64("min-speedup", 0, "exit 1 if geomean speedup falls below this (0: no gate)")
 	flag.Parse()
 	if *before == "" || *after == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -before and -after are required")
@@ -87,12 +88,24 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	// The gate runs after the report is written so a failing run still
+	// leaves the numbers on disk for inspection.
+	if gateFails(rep, *minSpeedup) {
+		fmt.Fprintf(os.Stderr, "benchjson: geomean speedup %.2f below required %.2f\n",
+			rep.GeomeanSpeedup, *minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// gateFails reports whether the -min-speedup gate rejects the report: a
+// ratio below the floor, or (with a gate set) no comparable benchmarks
+// at all — an empty comparison must not pass as a 0 < floor "success".
+func gateFails(rep Report, minSpeedup float64) bool {
+	return minSpeedup > 0 && rep.GeomeanSpeedup < minSpeedup
 }
 
 // parseFile collects all benchmark result lines, keyed by benchmark

@@ -78,3 +78,21 @@ func TestRound2NonFinite(t *testing.T) {
 		t.Errorf("round2(1.234) = %v, want 1.23", got)
 	}
 }
+
+func TestMinSpeedupGate(t *testing.T) {
+	for _, tc := range []struct {
+		geomean, min float64
+		fail         bool
+	}{
+		{5.0, 1.0, false}, // healthy speedup passes
+		{0.8, 1.0, true},  // regression rejected
+		{1.0, 1.0, false}, // exactly at the floor passes
+		{0.5, 0, false},   // no gate configured
+		{0, 1.0, true},    // no comparable benchmarks: reject, not vacuous pass
+	} {
+		rep := Report{GeomeanSpeedup: tc.geomean}
+		if got := gateFails(rep, tc.min); got != tc.fail {
+			t.Errorf("gateFails(geomean=%v, min=%v) = %v, want %v", tc.geomean, tc.min, got, tc.fail)
+		}
+	}
+}

@@ -215,6 +215,9 @@ func reportSolverStats(client *http.Client, base string) error {
 		hits, misses, solves float64
 		solveCount           int
 		solveMeanNs          float64
+		stallMaxNs           float64
+		stallCount           int
+		stallMeanNs          float64
 	)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -236,16 +239,34 @@ func reportSolverStats(client *http.Client, base string) error {
 			case "lp.solves":
 				solves = v
 			}
-		case "histogram":
-			if fields[1] != "lp.solve_ns" {
+		case "gauge":
+			if fields[1] != "engine.loop_stall_max_ns" {
 				continue
 			}
-			for _, f := range fields[2:] {
-				if v, ok := strings.CutPrefix(f, "count="); ok {
-					solveCount, _ = strconv.Atoi(v)
+			// Single-engine this is the max observed stall; the federation
+			// scrape sums shard gauges, making it an upper bound.
+			if v, err := strconv.ParseFloat(fields[2], 64); err == nil && v > stallMaxNs {
+				stallMaxNs = v
+			}
+		case "histogram":
+			switch fields[1] {
+			case "lp.solve_ns":
+				for _, f := range fields[2:] {
+					if v, ok := strings.CutPrefix(f, "count="); ok {
+						solveCount, _ = strconv.Atoi(v)
+					}
+					if v, ok := strings.CutPrefix(f, "mean="); ok {
+						solveMeanNs, _ = strconv.ParseFloat(v, 64)
+					}
 				}
-				if v, ok := strings.CutPrefix(f, "mean="); ok {
-					solveMeanNs, _ = strconv.ParseFloat(v, 64)
+			case "engine.loop_stall_ns":
+				for _, f := range fields[2:] {
+					if v, ok := strings.CutPrefix(f, "count="); ok {
+						stallCount, _ = strconv.Atoi(v)
+					}
+					if v, ok := strings.CutPrefix(f, "mean="); ok {
+						stallMeanNs, _ = strconv.ParseFloat(v, 64)
+					}
 				}
 			}
 		}
@@ -262,6 +283,8 @@ func reportSolverStats(client *http.Client, base string) error {
 		hits, misses, rate)
 	fmt.Printf("loadgen: LP solver: %.0f solves, %.1fms total wall time (mean %.2fms)\n",
 		solves, totalMs, solveMeanNs/1e6)
+	fmt.Printf("loadgen: event-loop stall: max %.2fms, %d stalls ≥ floor (mean %.2fms)\n",
+		stallMaxNs/1e6, stallCount, stallMeanNs/1e6)
 	return nil
 }
 

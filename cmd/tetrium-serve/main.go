@@ -94,6 +94,7 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshot+truncate (0 = 1024)")
 		speculate  = flag.Bool("speculate", false, "launch duplicates of straggling stages; first finish wins")
 		solveDL    = flag.Duration("solve-deadline", 0, "per-stage LP solve bound before greedy fallback (0: none)")
+		replAsync  = flag.Bool("replace-async", false, "run §4.2 re-placement solves off the event loop (async, generation-guarded)")
 
 		analytics   = flag.Bool("analytics", false, "enable the fleet-analytics store and /v1/analytics endpoints")
 		analyticsSP = flag.String("analytics-snap", "", "fleet store snapshot path (empty: no snapshots)")
@@ -154,6 +155,7 @@ func main() {
 		SnapshotEvery:  *snapEvery,
 		Speculate:      *speculate,
 		SolveDeadline:  *solveDL,
+		ReplaceAsync:   *replAsync,
 
 		Analytics:              *analytics,
 		AnalyticsSnapshotPath:  *analyticsSP,

@@ -145,6 +145,17 @@ type Config struct {
 	// disables retries.
 	SolveRetries int
 
+	// ReplaceAsync pushes §4.2 re-placement solves through the worker
+	// pool instead of solving them synchronously on the event loop: a
+	// cluster update returns after dispatching the dirty set, and each
+	// re-solve commits as it lands (resource-generation guarded, with a
+	// bounded-staleness sync fallback). Drain runs stay synchronous.
+	ReplaceAsync bool
+	// ReplaceFull disables the dirty-set optimization and re-solves
+	// every live placement on a §4.2 change — the pre-incremental
+	// behavior, kept as the differential-testing oracle.
+	ReplaceFull bool
+
 	// Analytics, when non-nil, receives every emitted event (typically a
 	// *fleet.Store) for fleet-wide per-tenant attribution. Must be a
 	// concrete non-nil observer or left nil: the hot path guards on the
@@ -262,14 +273,25 @@ func (e *Engine) loop() {
 	defer close(e.stopped)
 	s := e.st
 	for {
-		for len(s.todo) > 0 {
-			fn := s.todo[0]
-			s.todo = s.todo[1:]
-			fn()
+		// Stall accounting: one observation per continuous occupancy —
+		// a todo cascade or a dequeued request plus the follow-up work
+		// it queued. This is exactly the time a concurrent Submit or
+		// status read waits for the loop, the satellite metric behind
+		// engine.loop_stall_ns.
+		if len(s.todo) > 0 {
+			t0 := time.Now()
+			for len(s.todo) > 0 {
+				fn := s.todo[0]
+				s.todo = s.todo[1:]
+				fn()
+			}
+			s.noteLoopStall(time.Since(t0))
 		}
 		select {
 		case fn := <-e.reqs:
+			t0 := time.Now()
 			fn()
+			s.noteLoopStall(time.Since(t0))
 		case <-e.quit:
 			return
 		}

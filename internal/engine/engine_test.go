@@ -349,7 +349,10 @@ func TestUpdateTriggersReplacement(t *testing.T) {
 	// The placement lands asynchronously; replaceAll only re-solves
 	// placed stages, so wait for the first decision before the update.
 	waitFirstPlacement(t, e, st.ID)
-	replaced, err := e.UpdateCluster([]SiteUpdate{{Site: 0, Slots: -1, Frac: 0.5}})
+	// Hit the job's data site: dirty-set re-placement skips stages whose
+	// placement doesn't touch the updated site, and this stage's input
+	// lives entirely at site 2.
+	replaced, err := e.UpdateCluster([]SiteUpdate{{Site: 2, Slots: -1, Frac: 0.5}})
 	if err != nil {
 		t.Fatalf("UpdateCluster: %v", err)
 	}

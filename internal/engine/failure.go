@@ -21,6 +21,7 @@ package engine
 //     journal before the loop accepts traffic.
 
 import (
+	"sort"
 	"time"
 
 	"tetrium/internal/fault"
@@ -49,6 +50,7 @@ func (s *state) applyFault(f fault.Fault) {
 	// divisor turns one stage into a forever-running stage. A full
 	// partition is approximated as a link this slow.
 	const minBW = 1e6
+	grew := false
 	switch f.Kind {
 	case fault.SiteCrash:
 		// Kill semantics, not decommission: running work on the site is
@@ -57,18 +59,33 @@ func (s *state) applyFault(f fault.Fault) {
 		// free = cap − Σheld invariant. Compute dies; the site's storage
 		// tier and WAN link stay reachable (a dead link is LinkDegrade's
 		// job), so data staged there can still feed placements elsewhere.
-		for _, js := range s.order {
-			if js.terminal() {
-				continue
+		//
+		// The victims come from the site→stage index rather than a scan
+		// of every resident job: any stage holding slots or running a
+		// duplicate at the site is indexed there (held sites are a
+		// subset of task sites; the duplicate's site is indexed
+		// explicitly). Collect first — requeueing edits the index —
+		// and act in submission order, matching the old full scan.
+		var hit []*stageRun
+		for sr := range s.stageSites[f.Site] {
+			if (sr.specActive && sr.specSite == f.Site) ||
+				(sr.phase == stageRunning && sr.held[f.Site] > 0) {
+				hit = append(hit, sr)
 			}
-			for _, sr := range js.stages {
-				if sr.specActive && sr.specSite == f.Site {
-					s.accrueSlots(sr)
-					s.cancelSpec(sr) // the duplicate died with the site
-				}
-				if sr.phase == stageRunning && sr.held[f.Site] > 0 {
-					s.requeueStage(js, sr, f.Site, t)
-				}
+		}
+		sort.Slice(hit, func(i, j int) bool {
+			if hit[i].job.orderPos != hit[j].job.orderPos {
+				return hit[i].job.orderPos < hit[j].job.orderPos
+			}
+			return hit[i].idx < hit[j].idx
+		})
+		for _, sr := range hit {
+			if sr.specActive && sr.specSite == f.Site {
+				s.accrueSlots(sr)
+				s.cancelSpec(sr) // the duplicate died with the site
+			}
+			if sr.phase == stageRunning && sr.held[f.Site] > 0 {
+				s.requeueStage(sr.job, sr, f.Site, t)
 			}
 		}
 		delta := s.capSlots[f.Site]
@@ -80,10 +97,15 @@ func (s *state) applyFault(f fault.Fault) {
 		s.free[f.Site] += delta
 		s.upBW[f.Site] = orig.UpBW
 		s.downBW[f.Site] = orig.DownBW
+		grew = true // capacity restored: freed room can attract any placement
 	case fault.LinkDegrade:
-		s.upBW[f.Site] = maxFloat(orig.UpBW*(1-f.Frac), minBW)
-		s.downBW[f.Site] = maxFloat(orig.DownBW*(1-f.Frac), minBW)
+		up := maxFloat(orig.UpBW*(1-f.Frac), minBW)
+		down := maxFloat(orig.DownBW*(1-f.Frac), minBW)
+		grew = up > s.upBW[f.Site] || down > s.downBW[f.Site]
+		s.upBW[f.Site] = up
+		s.downBW[f.Site] = down
 	case fault.LinkRestore:
+		grew = orig.UpBW > s.upBW[f.Site] || orig.DownBW > s.downBW[f.Site]
 		s.upBW[f.Site] = orig.UpBW
 		s.downBW[f.Site] = orig.DownBW
 	default:
@@ -92,10 +114,11 @@ func (s *state) applyFault(f fault.Fault) {
 	s.emit(obs.Fault{T: t, Fault: f.Kind.String(), Site: f.Site, Frac: f.Frac})
 	// §4.2 resource dynamics: surviving placements re-pull toward the
 	// post-fault ideal under the UpdateK site-change bound; requeued
-	// stages (no longer placed) re-solve fresh on the next pass.
+	// stages (no longer placed) re-solve fresh on the next pass. A
+	// capacity increase (rejoin, restore) dirties every live placement;
+	// a pure loss re-places only the stages touching the lost site.
 	s.resGen++
-	replaced := s.replaceAll()
-	s.rec.Registry().Counter("engine.stages_replaced").Add(float64(replaced))
+	s.replacePlacements([]int{f.Site}, grew)
 	s.scheduleSoon()
 }
 
@@ -118,6 +141,8 @@ func (s *state) requeueStage(js *jobState, sr *stageRun, site int, t float64) {
 	sr.solving = false
 	sr.attempt++
 	s.cancelSpec(sr)
+	s.noteStageReady(js)
+	s.indexStage(sr)
 	s.rec.Registry().Counter("engine.tasks_reexecuted").Add(float64(lost))
 	s.emit(obs.StageRequeue{T: t, Job: js.id, Stage: sr.idx, Site: site, Tasks: lost, SlotSeconds: waste})
 }
@@ -200,6 +225,7 @@ func (s *state) specCheck(js *jobState, sr *stageRun, gen int) {
 	sr.specActive = true
 	sr.specSite = best
 	sr.specSlots = slots
+	s.indexStage(sr)
 	s.rec.Registry().Counter("engine.tasks_speculated").Add(float64(slots))
 	s.emit(obs.StageSpeculate{T: s.now(), Job: js.id, Stage: sr.idx, Site: best, Tasks: slots})
 	// The duplicate runs at estimate speed (re-running the straggler's
@@ -229,6 +255,7 @@ func (s *state) cancelSpec(sr *stageRun) {
 	s.free[sr.specSite] += sr.specSlots
 	sr.specActive = false
 	sr.specSlots = 0
+	s.indexStage(sr)
 }
 
 // LP-solve deadline -----------------------------------------------------------
@@ -355,6 +382,7 @@ func (s *state) restore(rs *journal.State) {
 			finished:  time.UnixMilli(dj.FinishedMs),
 			wanBytes:  dj.WANBytes,
 		}
+		js.orderPos = len(s.order)
 		s.jobs[js.id] = js
 		s.order = append(s.order, js)
 	}
@@ -384,15 +412,17 @@ func (s *state) admitRestored(lj journal.LiveJob) {
 	}
 	total := 0
 	for si, st := range lj.Spec.Stages {
-		sr := &stageRun{idx: si, spec: st, interBySite: make([]float64, s.n)}
+		sr := &stageRun{idx: si, spec: st, job: js, interBySite: make([]float64, s.n)}
 		if st.Kind == workload.MapStage {
 			sr.phase = stageReady
+			sr.dataSites = s.stageDataSites(sr)
 		}
 		js.stages = append(js.stages, sr)
 		total += len(st.Tasks)
 	}
 	js.remTasks = total
 	js.numStages = len(js.stages)
+	js.orderPos = len(s.order)
 	s.jobs[js.id] = js
 	s.order = append(s.order, js)
 	s.activeCount++
@@ -401,6 +431,7 @@ func (s *state) admitRestored(lj journal.LiveJob) {
 	s.emit(obs.JobArrival{T: t, Job: js.id, Name: js.name, Tenant: js.tenant, Stages: len(js.stages), Tasks: total})
 	for _, sr := range js.stages {
 		if sr.phase == stageReady {
+			s.noteStageReady(js)
 			s.emit(obs.StageReady{T: t, Job: js.id, Stage: sr.idx, Tasks: len(sr.spec.Tasks)})
 		}
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget guard skips under it because the detector's
+// shadow-memory bookkeeping changes allocation counts.
+const raceEnabled = true

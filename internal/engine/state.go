@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"time"
 
-	"tetrium/internal/dynamics"
 	"tetrium/internal/obs"
 	"tetrium/internal/place"
 	"tetrium/internal/sched"
@@ -132,6 +131,11 @@ type jobState struct {
 	wanBytes   float64
 	remTasks   int
 	journaled  bool // first placement written to the journal
+
+	// Incremental-scheduling index state (index.go).
+	orderPos   int  // position in s.order; arrival-order sort key
+	readyCount int  // stages currently in stageReady
+	inReadyIdx bool // member of s.readyJobs
 }
 
 func (j *jobState) terminal() bool { return j.phase == JobDone }
@@ -139,6 +143,7 @@ func (j *jobState) terminal() bool { return j.phase == JobDone }
 type stageRun struct {
 	idx  int
 	spec *workload.Stage
+	job  *jobState // back-pointer for the site→stage index
 
 	phase      stagePhase
 	placed     bool // placement computed (tasks/est valid)
@@ -177,6 +182,12 @@ type stageRun struct {
 	interBySite []float64 // reduce input location, from upstream outputs
 	outBySite   []float64 // where this stage's output landed
 
+	// Incremental §4.2 state (index.go, replace.go).
+	dataSites    []bool // sites whose capacity perturbs this stage's LP input
+	idxSites     []bool // current stageSites membership
+	replaceSeq   int    // latest async re-place attempt (supersede guard)
+	replaceDrops int    // consecutive re-places invalidated by newer updates
+
 	// warm carries the simplex basis of this stage's latest placement so
 	// re-solves (§4.2 re-placements, deadline retries) skip phase 1.
 	// Loop-owned: async dispatches hand the pool a Clone and install it
@@ -212,6 +223,32 @@ type state struct {
 	cache  *placeCache // placement memo cache (nil when disabled)
 	resGen int         // bumped on every cluster update; stale-solve guard
 
+	// Incremental scheduling indexes (index.go): the ready-job set
+	// sorted by arrival, the running-stage set, and the site→stage
+	// inverted index over placed live stages, plus its flat union.
+	readyJobs     []*jobState
+	runningStages map[*stageRun]struct{}
+	stageSites    []map[*stageRun]struct{}
+	placedLive    map[*stageRun]struct{}
+	touchScratch  []bool
+
+	// Async §4.2 re-placement (replace.go).
+	replaceInflight  int
+	gReplaceInflight *obs.Gauge
+
+	// Event-loop occupancy instrumentation (engine.go loop): the gauge
+	// tracks the max busy interval ever; the histogram samples only
+	// intervals ≥ loopStallFloor so steady sub-stall traffic does not
+	// grow the sample buffer.
+	loopStallMaxNs float64
+	gLoopStall     *obs.Gauge
+	hLoopStall     *obs.Histogram
+
+	// schedule() scratch, reused across passes so a steady-state pass
+	// allocates nothing.
+	candScratch  []schedCand
+	stageScratch []*stageRun
+
 	// pendingBatch collects the async placement solves one scheduling
 	// pass produced; flushBatch ships them to the worker pool as grouped
 	// batch tasks (one capacity snapshot, warm-starting within a group).
@@ -233,17 +270,47 @@ func newState(e *Engine) *state {
 	if e.cfg.PlaceCacheSize > 0 {
 		cache = newPlaceCache(e.cfg.PlaceCacheSize)
 	}
+	n := cl.N()
+	sites := make([]map[*stageRun]struct{}, n)
+	for i := range sites {
+		sites[i] = make(map[*stageRun]struct{})
+	}
 	return &state{
-		cache:    cache,
-		e:        e,
-		n:        cl.N(),
-		capSlots: cl.Slots(),
-		free:     cl.Slots(),
-		upBW:     cl.UpBW(),
-		downBW:   cl.DownBW(),
-		jobs:     make(map[int]*jobState),
-		rec:      rec,
-		rng:      rand.New(rand.NewSource(1)), // jitter only; determinism beats entropy
+		cache:            cache,
+		e:                e,
+		n:                n,
+		capSlots:         cl.Slots(),
+		free:             cl.Slots(),
+		upBW:             cl.UpBW(),
+		downBW:           cl.DownBW(),
+		jobs:             make(map[int]*jobState),
+		rec:              rec,
+		rng:              rand.New(rand.NewSource(1)), // jitter only; determinism beats entropy
+		runningStages:    make(map[*stageRun]struct{}),
+		stageSites:       sites,
+		placedLive:       make(map[*stageRun]struct{}),
+		touchScratch:     make([]bool, n),
+		gReplaceInflight: rec.Registry().Gauge("engine.replace_inflight"),
+		gLoopStall:       rec.Registry().Gauge("engine.loop_stall_max_ns"),
+		hLoopStall:       rec.Registry().Histogram("engine.loop_stall_ns", 1e5, 2, 24),
+	}
+}
+
+// loopStallFloor is the event-loop busy interval below which occupancy
+// samples are not retained: the gauge still tracks the max, but the
+// histogram only keeps genuinely stalling intervals so per-dequeue
+// observation cannot grow the sample buffer without bound.
+const loopStallFloor = 100 * time.Microsecond
+
+// noteLoopStall records one event-loop busy interval (engine.go loop).
+func (s *state) noteLoopStall(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	if ns > s.loopStallMaxNs {
+		s.loopStallMaxNs = ns
+		s.gLoopStall.Set(ns)
+	}
+	if d >= loopStallFloor {
+		s.hLoopStall.Observe(ns)
 	}
 }
 
@@ -352,9 +419,10 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 	}
 	total := 0
 	for si, st := range spec.Stages {
-		sr := &stageRun{idx: si, spec: st, interBySite: make([]float64, s.n)}
+		sr := &stageRun{idx: si, spec: st, job: js, interBySite: make([]float64, s.n)}
 		if st.Kind == workload.MapStage {
 			sr.phase = stageReady
+			sr.dataSites = s.stageDataSites(sr)
 		}
 		js.stages = append(js.stages, sr)
 		total += len(st.Tasks)
@@ -362,6 +430,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 	js.remTasks = total
 	js.numStages = len(js.stages)
 	s.jobs[id] = js
+	js.orderPos = len(s.order)
 	s.order = append(s.order, js)
 	s.activeCount++
 	s.rec.Registry().Gauge("engine.pending").Set(float64(s.activeCount))
@@ -369,6 +438,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 	s.emit(obs.JobArrival{T: t, Job: id, Name: js.name, Tenant: js.tenant, Stages: len(js.stages), Tasks: total})
 	for _, sr := range js.stages {
 		if sr.phase == stageReady {
+			s.noteStageReady(js)
 			s.emit(obs.StageReady{T: t, Job: id, Stage: sr.idx, Tasks: len(sr.spec.Tasks)})
 		}
 	}
@@ -378,28 +448,22 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 
 // Scheduling instance (admit → order → place → dispatch) -------------------
 
-func (s *state) schedule() {
-	started := time.Now()
-	s.instSeq++
+// schedCand is one candidate job of a scheduling pass: its ready
+// stages live in s.stageScratch[lo:hi] (an arena shared across
+// candidates so a steady-state pass allocates nothing).
+type schedCand struct {
+	js     *jobState
+	lo, hi int
+}
 
-	type cand struct {
-		js     *jobState
-		stages []*stageRun
-	}
-	var cands []cand
-	for _, js := range s.order {
-		if js.terminal() {
-			continue
-		}
-		var ready []*stageRun
-		for _, sr := range js.stages {
-			if sr.phase == stageReady {
-				ready = append(ready, sr)
-			}
-		}
-		if len(ready) > 0 {
-			cands = append(cands, cand{js, ready})
-		}
+func (s *state) schedule() {
+	// Indexed early-outs: with no ready stage, or no free slot, the
+	// pass has nothing to place or launch — exactly the situations the
+	// old code discovered by scanning all of s.order. Both return
+	// before any allocation, so a saturated steady-state pass is O(1)
+	// in jobs and allocation-free (the alloc-guard test pins this).
+	if len(s.readyJobs) == 0 {
+		return
 	}
 	totalFree := 0
 	for _, f := range s.free {
@@ -407,59 +471,76 @@ func (s *state) schedule() {
 			totalFree += f
 		}
 	}
+	if totalFree <= 0 {
+		return
+	}
+	started := time.Now()
+	s.instSeq++
+
+	// s.readyJobs is sorted by arrival, so candidates appear in the
+	// same order the full s.order scan produced.
+	cands := s.candScratch[:0]
+	arena := s.stageScratch[:0]
+	for _, js := range s.readyJobs {
+		lo := len(arena)
+		for _, sr := range js.stages {
+			if sr.phase == stageReady {
+				arena = append(arena, sr)
+			}
+		}
+		cands = append(cands, schedCand{js: js, lo: lo, hi: len(arena)})
+	}
 	freeAtStart := totalFree
 
 	launched := 0
 	solves, hits := 0, 0
-	var orderIDs []int
-	if len(cands) > 0 && totalFree > 0 {
-		infos := make([]sched.JobInfo, len(cands))
-		remTasks := make([]int, len(cands))
-		for i, c := range cands {
-			est := 0.0
-			for _, sr := range c.stages {
-				if !sr.placed {
-					sv, ht := s.ensurePlacement(c.js, sr, false)
-					solves += sv
-					hits += ht
-				}
-				if sr.est > est {
-					est = sr.est
-				}
+	infos := make([]sched.JobInfo, len(cands))
+	remTasks := make([]int, len(cands))
+	for i, c := range cands {
+		est := 0.0
+		for _, sr := range arena[c.lo:c.hi] {
+			if !sr.placed {
+				sv, ht := s.ensurePlacement(c.js, sr, false)
+				solves += sv
+				hits += ht
 			}
-			infos[i] = sched.JobInfo{
-				ID:              c.js.id,
-				RemainingStages: len(c.js.stages) - c.js.stagesDone,
-				EstStageTime:    est,
-				RemainingTasks:  c.js.remTasks,
+			if sr.est > est {
+				est = sr.est
 			}
-			remTasks[i] = c.js.remTasks
 		}
-		orderIdx := sched.Order(s.e.cfg.Policy, infos)
-		shares := sched.FairShares(totalFree, remTasks)
-		orderIDs = make([]int, len(orderIdx))
-		for i, k := range orderIdx {
-			orderIDs[i] = cands[k].js.id
+		infos[i] = sched.JobInfo{
+			ID:              c.js.id,
+			RemainingStages: len(c.js.stages) - c.js.stagesDone,
+			EstStageTime:    est,
+			RemainingTasks:  c.js.remTasks,
 		}
-		for _, k := range orderIdx {
-			if totalFree <= 0 {
+		remTasks[i] = c.js.remTasks
+	}
+	orderIdx := sched.Order(s.e.cfg.Policy, infos)
+	shares := sched.FairShares(totalFree, remTasks)
+	orderIDs := make([]int, len(orderIdx))
+	for i, k := range orderIdx {
+		orderIDs[i] = cands[k].js.id
+	}
+	for _, k := range orderIdx {
+		if totalFree <= 0 {
+			break
+		}
+		budget := sched.Cap(s.e.cfg.Eps, totalFree, shares, k)
+		if budget <= 0 {
+			continue
+		}
+		c := cands[k]
+		for _, sr := range arena[c.lo:c.hi] {
+			if budget <= 0 {
 				break
 			}
-			budget := sched.Cap(s.e.cfg.Eps, totalFree, shares, k)
-			if budget <= 0 {
-				continue
-			}
-			c := cands[k]
-			for _, sr := range c.stages {
-				if budget <= 0 {
-					break
-				}
-				n := s.launchStage(c.js, sr, &budget)
-				launched += n
-				totalFree -= n
-			}
+			n := s.launchStage(c.js, sr, &budget)
+			launched += n
+			totalFree -= n
 		}
 	}
+	s.candScratch, s.stageScratch = cands[:0], arena[:0]
 	s.flushBatch()
 	s.emit(obs.SchedInstance{
 		T: s.now(), Seq: s.instSeq, Considered: len(cands),
@@ -641,6 +722,7 @@ func (s *state) applyPlacement(js *jobState, sr *stageRun, pr placeRequest, r pl
 	sr.wan = r.wan
 	sr.est = r.estNet + r.estCompute
 	sr.placed = true
+	s.indexStage(sr)
 	s.emit(obs.Placement{
 		T: s.now(), Job: js.id, Stage: sr.idx, StageKind: pr.kind,
 		Placer: s.e.cfg.Placer.Name(), Pending: pr.numTasks(),
@@ -956,6 +1038,8 @@ func (s *state) launchStage(js *jobState, sr *stageRun, budget *int) int {
 	sr.held = alloc
 	sr.heldTotal = total
 	sr.phase = stageRunning
+	s.noteStageUnready(js)
+	s.indexStage(sr)
 	sr.gen++
 	gen := sr.gen
 
@@ -1063,6 +1147,7 @@ func (s *state) stageFinished(js *jobState, sr *stageRun, gen int, byCopy bool) 
 	sr.held = nil
 	sr.heldTotal = 0
 	sr.phase = stageDone
+	s.indexStage(sr)
 	specSite := sr.specSite
 	s.cancelSpec(sr) // winner or loser, the duplicate's slots come back
 
@@ -1123,6 +1208,8 @@ func (s *state) wakeDownstream(js *jobState, t float64) {
 			down.interBySite[x] = sum
 		}
 		down.phase = stageReady
+		down.dataSites = s.stageDataSites(down)
+		s.noteStageReady(js)
 		s.emit(obs.StageReady{T: t, Job: js.id, Stage: down.idx, Tasks: len(down.spec.Tasks)})
 	}
 }
@@ -1158,6 +1245,8 @@ func (s *state) finishJob(js *jobState, t float64) {
 
 func (s *state) updateCluster(ups []SiteUpdate) int {
 	t := s.now()
+	affected := make([]int, 0, len(ups))
+	grew := false
 	for _, u := range ups {
 		orig := s.e.cfg.Cluster.Sites[u.Site]
 		newSlots, newUp, newDown := u.Slots, u.UpBW, u.DownBW
@@ -1166,17 +1255,35 @@ func (s *state) updateCluster(ups []SiteUpdate) int {
 			newUp = orig.UpBW * (1 - u.Frac)
 			newDown = orig.DownBW * (1 - u.Frac)
 		}
+		changed := false
 		if newSlots >= 0 {
 			delta := s.capSlots[u.Site] - newSlots
+			if delta != 0 {
+				changed = true
+				grew = grew || delta < 0
+			}
 			s.capSlots[u.Site] = newSlots
 			s.free[u.Site] -= delta // may dip negative until running stages drain
 		}
 		const minBW = 1.0 // keep placement LPs away from zero bandwidth
 		if newUp > 0 {
-			s.upBW[u.Site] = maxFloat(newUp, minBW)
+			v := maxFloat(newUp, minBW)
+			if v != s.upBW[u.Site] {
+				changed = true
+				grew = grew || v > s.upBW[u.Site]
+			}
+			s.upBW[u.Site] = v
 		}
 		if newDown > 0 {
-			s.downBW[u.Site] = maxFloat(newDown, minBW)
+			v := maxFloat(newDown, minBW)
+			if v != s.downBW[u.Site] {
+				changed = true
+				grew = grew || v > s.downBW[u.Site]
+			}
+			s.downBW[u.Site] = v
+		}
+		if changed {
+			affected = append(affected, u.Site)
 		}
 		frac := 0.0
 		if orig.Slots > 0 {
@@ -1186,51 +1293,9 @@ func (s *state) updateCluster(ups []SiteUpdate) int {
 	}
 	s.rec.Registry().Counter("engine.cluster_updates").Inc()
 	s.resGen++ // invalidate solves in flight against the old capacities
-	replaced := s.replaceAll()
-	s.rec.Registry().Counter("engine.stages_replaced").Add(float64(replaced))
+	replaced := s.replacePlacements(affected, grew)
 	s.scheduleSoon()
 	return replaced
-}
-
-// replaceAll re-solves every live placement under the new capacities
-// and pulls the assignment toward the fresh ideal while changing at
-// most UpdateK sites (dynamics.Reassign, §4.2). Running stages migrate
-// their held slots to match the adjusted assignment.
-func (s *state) replaceAll() int {
-	k := s.e.cfg.UpdateK
-	count := 0
-	for _, js := range s.order {
-		if js.terminal() {
-			continue
-		}
-		for _, sr := range js.stages {
-			if !sr.placed || (sr.phase != stageReady && sr.phase != stageRunning) {
-				continue
-			}
-			old := append([]int(nil), sr.tasks...)
-			s.ensurePlacement(js, sr, true) // re-solve: sr.tasks is now the ideal f*
-			if k > 0 {
-				sr.tasks = dynamics.Reassign(old, sr.tasks, k)
-			}
-			if sr.phase == stageRunning {
-				// Migrate held slots toward the adjusted assignment. The
-				// old holding level accrues first so slot-second
-				// attribution stays exact across the migration.
-				s.accrueSlots(sr)
-				for x, h := range sr.held {
-					s.free[x] += h
-				}
-				alloc, total := s.allocate(sr.tasks, len(sr.spec.Tasks))
-				for x, a := range alloc {
-					s.free[x] -= a
-				}
-				sr.held = alloc
-				sr.heldTotal = total
-			}
-			count++
-		}
-	}
-	return count
 }
 
 // Snapshots ------------------------------------------------------------------

@@ -338,9 +338,19 @@ func (f *Federation) UpdateCluster(ups []engine.SiteUpdate) (int, error) {
 			return 0, fmt.Errorf("federation: drop fraction %g outside [0,1]", u.Frac)
 		}
 	}
-	replaced, alive := 0, 0
-	var lastErr error
-	for i, e := range f.engines() {
+	// Shards are shared-nothing, so the fan-out runs concurrently: the
+	// fleet-wide update completes in max(shard) time, not sum(shard) —
+	// one slow shard (a deep dirty set, a busy loop) no longer
+	// serializes everyone else's §4.2 pass.
+	engines := f.engines()
+	type shardRes struct {
+		replaced int
+		err      error
+		ok       bool
+	}
+	results := make([]shardRes, len(engines))
+	var wg sync.WaitGroup
+	for i, e := range engines {
 		shardUps := make([]engine.SiteUpdate, len(ups))
 		for k, u := range ups {
 			su := u
@@ -357,13 +367,23 @@ func (f *Federation) UpdateCluster(ups []engine.SiteUpdate) (int, error) {
 			}
 			shardUps[k] = su
 		}
-		r, err := e.UpdateCluster(shardUps)
-		if err != nil {
-			lastErr = err
+		wg.Add(1)
+		go func(i int, e *engine.Engine, shardUps []engine.SiteUpdate) {
+			defer wg.Done()
+			r, err := e.UpdateCluster(shardUps)
+			results[i] = shardRes{replaced: r, err: err, ok: err == nil}
+		}(i, e, shardUps)
+	}
+	wg.Wait()
+	replaced, alive := 0, 0
+	var lastErr error
+	for _, r := range results {
+		if !r.ok {
+			lastErr = r.err
 			continue
 		}
 		alive++
-		replaced += r
+		replaced += r.replaced
 	}
 	if alive == 0 {
 		if lastErr != nil {

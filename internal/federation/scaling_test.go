@@ -23,11 +23,14 @@ import (
 // correctness test; `make bench-federation` runs it).
 //
 // The workload isolates the cost sharding removes: the engine's
-// single-writer scheduling pass scans every live job, so with a large
-// resident population P each admission pays O(P) on the one event
-// loop. Sharding splits both the population and the admission stream N
-// ways — each shard's pass scans P/N jobs — so aggregate admission
-// throughput scales near-linearly even on one core. The resident jobs
+// single-writer event loop serializes all admissions, so with a large
+// resident population each admission queues behind every other
+// request on the one loop. (The pass itself is O(ready) since PR 9's
+// indexed scheduling — saturated residents park in the ready index —
+// but the candidate walk and ordering still grow with the parked
+// population.) Sharding splits both the population and the admission
+// stream N ways, so aggregate admission throughput scales
+// near-linearly even on one core. The resident jobs
 // saturate every slot (huge compute estimates at TimeScale 1), pinning
 // the pass on its scan phase with no placement work, and BatchAdmit 1
 // keeps one pass per admission so the measured configurations batch

@@ -96,6 +96,10 @@ type EngineOptions struct {
 	// SolveDeadline bounds each placement LP solve before the greedy
 	// fallback places the stage instead; 0 disables.
 	SolveDeadline time.Duration
+	// ReplaceAsync moves §4.2 re-placement solves off the event loop:
+	// cluster updates dispatch the dirty stages to the solve pool and
+	// return, instead of blocking on every re-solve.
+	ReplaceAsync bool
 
 	// Analytics enables the fleet-analytics store: every emitted event
 	// feeds an in-memory per-tenant columnar store served under
@@ -176,6 +180,7 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		Restore:        restore,
 		Speculate:      o.Speculate,
 		SolveDeadline:  o.SolveDeadline,
+		ReplaceAsync:   o.ReplaceAsync,
 	}
 	if analytics != nil {
 		// Assigned only when non-nil: a typed-nil *fleet.Store in the
@@ -271,6 +276,7 @@ func NewFederation(o EngineOptions, shards int, shardBy string) (*Federation, er
 			BatchAdmit:     o.BatchAdmit,
 			Speculate:      o.Speculate,
 			SolveDeadline:  o.SolveDeadline,
+			ReplaceAsync:   o.ReplaceAsync,
 		}
 		if o.FaultSpec != "" {
 			inj, err := fault.Parse(o.FaultSpec, o.FaultSeed+int64(shard))

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-federation bench-replace bench-replace-smoke
+.PHONY: ci build vet test race bench-guard bench bench-place bench-smoke fmt fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke selfheal-smoke bench-federation bench-replace bench-replace-smoke
 
-ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke bench-replace-smoke
+ci: vet build race bench-guard bench-smoke fuzz-smoke serve-smoke chaos-smoke analytics-smoke federation-smoke selfheal-smoke bench-replace-smoke
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,19 @@ federation-smoke:
 	$(GO) run ./cmd/tetrium-serve -smoke -shards 2 -journal $$(mktemp -d)/journal -time-scale 0.002
 	$(GO) test -race -count=1 -run 'TestRouterHammer|TestShardLossMidFlight' ./internal/federation
 	$(GO) test -race -count=1 -run 'TestFederationCrashRestart|TestShardsOneMatchesSingleEngine' ./cmd/tetrium-serve
+
+# Self-healing gate (PR 10), all under the race detector: the chaos
+# tentpole (a supervised 2-shard journaled fleet survives an injected
+# event-loop panic, a SIGKILL-style shard loss, and a corrupted journal
+# record — all healed automatically, zero lost jobs, readiness degraded
+# not failed), the flap-breaker and fault-timeline tests, exactly-once
+# idempotent submit across a crash, and the subprocess restart over a
+# damaged journal. The serve-level federation smoke then re-runs with
+# -supervise so the heals happen under live supervision end to end.
+selfheal-smoke:
+	$(GO) test -race -count=1 -run 'TestSelfHealChaos|TestBreakerParksFlappingShard|TestChaosTimelineFires|TestFederationIdemExactlyOnce|TestUnhealthyRetryAfterDeadline' ./internal/federation
+	$(GO) test -race -count=1 -run 'TestCrashRestartCorruptJournal' ./cmd/tetrium-serve
+	$(GO) run ./cmd/tetrium-serve -smoke -shards 2 -supervise -journal $$(mktemp -d)/journal -time-scale 0.002
 
 # Regenerate the federation scaling report: aggregate submit throughput
 # at 1 vs 2 vs 4 shards over a 4000-job resident fleet (best-of-3 per

@@ -218,6 +218,17 @@ func reportSolverStats(client *http.Client, base string) error {
 		stallMaxNs           float64
 		stallCount           int
 		stallMeanNs          float64
+
+		// Self-healing picture (PR 10): zero-valued and absent metrics
+		// both read as 0; the health line only prints for supervised
+		// (federated) servers, the healing line whenever anything healed.
+		health      = map[string]float64{}
+		supervised  bool
+		breakerOpen float64
+		autoHeals   float64
+		panicsSeen  float64
+		quarantined float64
+		deduped     float64
 	)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -238,8 +249,31 @@ func reportSolverStats(client *http.Client, base string) error {
 				misses = v
 			case "lp.solves":
 				solves = v
+			case "federation.auto_restarts":
+				autoHeals = v
+			case "engine.panics_recovered":
+				panicsSeen += v
+			case "federation.panics_healed":
+				panicsSeen += v
+			case "journal.records_quarantined":
+				quarantined = v
+			case "federation.submit_deduped":
+				deduped = v
 			}
 		case "gauge":
+			if state, ok := strings.CutPrefix(fields[1], "federation.shard_health."); ok {
+				supervised = true
+				if v, err := strconv.ParseFloat(fields[2], 64); err == nil {
+					health[state] = v
+				}
+				continue
+			}
+			if fields[1] == "federation.breaker_open" {
+				if v, err := strconv.ParseFloat(fields[2], 64); err == nil {
+					breakerOpen = v
+				}
+				continue
+			}
 			if fields[1] != "engine.loop_stall_max_ns" {
 				continue
 			}
@@ -285,6 +319,14 @@ func reportSolverStats(client *http.Client, base string) error {
 		solves, totalMs, solveMeanNs/1e6)
 	fmt.Printf("loadgen: event-loop stall: max %.2fms, %d stalls ≥ floor (mean %.2fms)\n",
 		stallMaxNs/1e6, stallCount, stallMeanNs/1e6)
+	if supervised {
+		fmt.Printf("loadgen: shard health: %.0f healthy / %.0f suspect / %.0f down / %.0f restarting / %.0f parked (breaker open: %.0f)\n",
+			health["healthy"], health["suspect"], health["down"], health["restarting"], health["parked"], breakerOpen)
+	}
+	if supervised || autoHeals+panicsSeen+quarantined+deduped > 0 {
+		fmt.Printf("loadgen: self-healing: %.0f auto-restarts, %.0f panics recovered, %.0f journal records quarantined, %.0f submits deduped\n",
+			autoHeals, panicsSeen, quarantined, deduped)
+	}
 	return nil
 }
 

@@ -52,6 +52,14 @@
 // -smoke with -shards N > 1 runs the federation round-trip instead:
 // submit over the wire, kill and restore one shard mid-flight, verify
 // no admitted job is lost.
+//
+// -supervise (with -shards > 1) turns the router self-healing: each
+// shard is heartbeat-probed; a wedged, panicked, or stopped shard is
+// restarted automatically from its journal with jittered exponential
+// backoff (-restart-backoff sets the first delay), and a shard that
+// keeps flapping is parked by a circuit breaker until an operator
+// restarts it. POST /v1/jobs accepts an Idempotency-Key header making
+// submit retries exactly-once across shard crashes.
 package main
 
 import (
@@ -100,8 +108,10 @@ func main() {
 		analyticsSP = flag.String("analytics-snap", "", "fleet store snapshot path (empty: no snapshots)")
 		analyticsSE = flag.Duration("analytics-snap-every", 0, "fleet store snapshot interval (0: 30s default)")
 
-		shards  = flag.Int("shards", 1, "engine shards behind the federation router (1 = single engine)")
-		shardBy = flag.String("shard-by", "hash", "submission partitioning with -shards > 1: hash|site")
+		shards    = flag.Int("shards", 1, "engine shards behind the federation router (1 = single engine)")
+		shardBy   = flag.String("shard-by", "hash", "submission partitioning with -shards > 1: hash|site")
+		supervise = flag.Bool("supervise", false, "with -shards > 1: self-healing supervisor (heartbeat probes, auto-restart with backoff, flap breaker)")
+		restartBO = flag.Duration("restart-backoff", 0, "supervisor first restart delay, doubling per failure (0 = 200ms)")
 
 		loadgen = flag.Bool("loadgen", false, "run as load generator against -target")
 		smoke   = flag.Bool("smoke", false, "run the in-process smoke check and exit")
@@ -156,6 +166,8 @@ func main() {
 		Speculate:      *speculate,
 		SolveDeadline:  *solveDL,
 		ReplaceAsync:   *replAsync,
+		Supervise:      *supervise,
+		RestartBackoff: *restartBO,
 
 		Analytics:              *analytics,
 		AnalyticsSnapshotPath:  *analyticsSP,

@@ -211,6 +211,115 @@ func TestCrashRestart(t *testing.T) {
 	}
 }
 
+// TestCrashRestartCorruptJournal extends the SIGKILL story with disk
+// damage: after the kill, one journal record is flipped (a torn or
+// bit-rotted write) before the restart. Replay must quarantine the bad
+// record to the .corrupt sidecar and keep going — the server comes up,
+// and at most the one damaged record's job is lost; everything else
+// completes exactly once.
+func TestCrashRestartCorruptJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	jpath := filepath.Join(t.TempDir(), "serve.journal")
+
+	cmd1, base1, _ := helperServer(t, "-journal", jpath, "-time-scale", "5")
+	const n = 10
+	ids := make(map[int]bool)
+	body := testJobBody(t, "corrupt-survivor")
+	for i := 0; i < n; i++ {
+		resp, st := postJobHTTP(t, base1, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids[st.ID] = true
+	}
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL: no cleanup, no snapshot
+		t.Fatalf("kill: %v", err)
+	}
+	cmd1.Wait()
+
+	// Record 0 is the generation stamp; record 2 is mid-file — an admit
+	// or a placement, either of which replay must survive.
+	if err := journal.CorruptRecord(jpath, 2); err != nil {
+		t.Fatalf("CorruptRecord: %v", err)
+	}
+
+	cmd2, base2, out2 := helperServer(t, "-journal", jpath, "-time-scale", "0")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+
+	// Replay continues past the quarantined record: the server readies.
+	readyDeadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(readyDeadline) {
+			t.Fatalf("server never became ready over damaged journal; output:\n%s", out2.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The damaged line is preserved for forensics, not silently dropped.
+	side, err := os.ReadFile(jpath + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantine sidecar: %v", err)
+	}
+	if len(side) == 0 {
+		t.Fatal("quarantine sidecar is empty")
+	}
+
+	// If the corrupted record was an admit, exactly that job is gone;
+	// a corrupted placement loses nothing. Either way no unknown IDs,
+	// no duplicates, and every survivor completes.
+	doneDeadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/v1/jobs")
+		if err != nil {
+			t.Fatalf("GET /v1/jobs: %v", err)
+		}
+		var jobs []api.JobStatus
+		derr := json.NewDecoder(resp.Body).Decode(&jobs)
+		resp.Body.Close()
+		if derr != nil {
+			t.Fatalf("decode: %v", derr)
+		}
+		if len(jobs) < n-1 || len(jobs) > n {
+			t.Fatalf("restarted server lists %d jobs, want %d or %d", len(jobs), n-1, n)
+		}
+		seen := make(map[int]int)
+		done := 0
+		for _, js := range jobs {
+			seen[js.ID]++
+			if !ids[js.ID] {
+				t.Fatalf("job ID %d was never accepted before the crash", js.ID)
+			}
+			if js.State == "done" {
+				done++
+			}
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("job %d appears %d times", id, c)
+			}
+		}
+		if done == len(jobs) {
+			break
+		}
+		if time.Now().After(doneDeadline) {
+			t.Fatalf("only %d/%d jobs done after corrupt replay", done, len(jobs))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // TestSigtermDrain: jobs running when the signal arrives finish; new
 // submissions are refused with 503; the process exits cleanly after
 // printing the drain banner. The journal proves the in-flight jobs

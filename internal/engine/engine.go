@@ -67,6 +67,14 @@ var (
 	ErrQueueFull = errors.New("engine: pending queue full")
 	// ErrNotFound is returned for unknown job IDs.
 	ErrNotFound = errors.New("engine: no such job")
+	// ErrPanicked is returned when the loop closure serving a request
+	// panicked mid-flight: the panic was contained (the engine keeps
+	// running) but the request's effect is unknown, so callers should
+	// treat the shard as unhealthy and retry elsewhere.
+	ErrPanicked = errors.New("engine: request aborted by recovered panic")
+	// ErrProbeTimeout is returned by Probe when the event loop did not
+	// turn the probe around within the deadline.
+	ErrProbeTimeout = errors.New("engine: probe timeout")
 )
 
 // Config parameterizes an Engine.
@@ -168,16 +176,27 @@ type Config struct {
 // Engine is a live scheduling service. Create with New; all methods are
 // safe for concurrent use.
 type Engine struct {
-	cfg         Config
-	reqs        chan func()
-	quit        chan struct{}
-	stopped     chan struct{}
-	once        sync.Once
-	start       time.Time
-	st          *state
-	pool        *solvePool
-	replaying   atomic.Bool   // journal replay still pending on the loop
-	faultTimers []*time.Timer // injector timeline; stopped in Close
+	cfg     Config
+	reqs    chan func()
+	quit    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+	// shutdownOnce/shutdownDone make Close/Kill safe to race: the first
+	// caller runs the teardown (its snapshot-or-abandon choice wins),
+	// every other caller blocks until it finishes.
+	shutdownOnce sync.Once
+	shutdownDone chan struct{}
+	start        time.Time
+	st           *state
+	pool         *solvePool
+	replaying    atomic.Bool   // journal replay still pending on the loop
+	faultTimers  []*time.Timer // injector timeline; stopped in Close
+
+	// Supervision signals, readable from any goroutine without entering
+	// the loop (the supervisor must not depend on a wedged loop to learn
+	// the loop is wedged).
+	panics   atomic.Int64 // recovered panics (loop + solve pool)
+	stallMax atomic.Int64 // mirror of engine.loop_stall_max_ns
 
 	timerMu sync.Mutex
 	closing bool
@@ -222,14 +241,21 @@ func New(cfg Config) (*Engine, error) {
 		cfg.SolveRetries = 2
 	}
 	e := &Engine{
-		cfg:     cfg,
-		reqs:    make(chan func(), 128),
-		quit:    make(chan struct{}),
-		stopped: make(chan struct{}),
-		start:   time.Now(),
-		pool:    newSolvePool(cfg.SolveWorkers),
+		cfg:          cfg,
+		reqs:         make(chan func(), 128),
+		quit:         make(chan struct{}),
+		stopped:      make(chan struct{}),
+		shutdownDone: make(chan struct{}),
+		start:        time.Now(),
+		pool:         newSolvePool(cfg.SolveWorkers),
 	}
 	e.st = newState(e)
+	e.pool.onPanic = func(r any) {
+		// Worker goroutine: re-enter the loop to touch state. The solve
+		// the panic killed never commits; its stage retries through the
+		// usual deadline/stale paths.
+		e.inject(func() { e.st.notePanic("solve", r) })
+	}
 	if cfg.Restore != nil {
 		// Replay runs as the loop's first todo item: the todo queue
 		// drains before any request is served, so no Submit can observe
@@ -283,14 +309,14 @@ func (e *Engine) loop() {
 			for len(s.todo) > 0 {
 				fn := s.todo[0]
 				s.todo = s.todo[1:]
-				fn()
+				e.runGuarded(fn)
 			}
 			s.noteLoopStall(time.Since(t0))
 		}
 		select {
 		case fn := <-e.reqs:
 			t0 := time.Now()
-			fn()
+			e.runGuarded(fn)
 			s.noteLoopStall(time.Since(t0))
 		case <-e.quit:
 			return
@@ -298,12 +324,29 @@ func (e *Engine) loop() {
 	}
 }
 
-// do runs fn on the loop and waits for it to finish.
+// runGuarded executes one loop closure with panic containment: a panic
+// is recovered (the loop keeps serving), counted, and snapshotted to
+// the journal so the supervisor can restart the shard from durable
+// state if it decides the damage warrants it.
+func (e *Engine) runGuarded(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.st.notePanic("loop", r)
+		}
+	}()
+	fn()
+}
+
+// do runs fn on the loop and waits for it to finish. If fn panicked
+// mid-flight (contained by runGuarded), the wait still returns — with
+// ErrPanicked, since fn's effect is unknown.
 func (e *Engine) do(fn func()) error {
 	done := make(chan struct{})
+	ok := false
 	wrapped := func() {
+		defer close(done)
 		fn()
-		close(done)
+		ok = true
 	}
 	select {
 	case e.reqs <- wrapped:
@@ -312,6 +355,9 @@ func (e *Engine) do(fn func()) error {
 	}
 	select {
 	case <-done:
+		if !ok {
+			return ErrPanicked
+		}
 		return nil
 	case <-e.stopped:
 		return ErrStopped
@@ -358,7 +404,23 @@ func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
 // Close stops the event loop. In-flight jobs are abandoned; use Drain
 // first for a graceful stop. The configured journal (if any) is
 // snapshotted and closed. Idempotent.
-func (e *Engine) Close() {
+func (e *Engine) Close() { e.shutdown(true) }
+
+// Kill is Close without the journal's final snapshot — the in-process
+// stand-in for kill -9 in chaos tests: the journal tail is left exactly
+// as appended, so recovery must replay (and CRC-verify) every record
+// rather than trust a compacted snapshot.
+func (e *Engine) Kill() { e.shutdown(false) }
+
+func (e *Engine) shutdown(snapshotJournal bool) {
+	e.shutdownOnce.Do(func() {
+		defer close(e.shutdownDone)
+		e.doShutdown(snapshotJournal)
+	})
+	<-e.shutdownDone
+}
+
+func (e *Engine) doShutdown(snapshotJournal bool) {
 	e.once.Do(func() { close(e.quit) })
 	<-e.stopped
 	for _, t := range e.faultTimers {
@@ -378,7 +440,11 @@ func (e *Engine) Close() {
 		e.st.rec.Registry().Counter("engine.solves_dropped_on_close").Add(float64(n))
 	}
 	if j := e.cfg.Journal; j != nil {
-		j.Close()
+		if snapshotJournal {
+			j.Close()
+		} else {
+			j.Abandon()
+		}
 	}
 	if c, ok := e.cfg.Analytics.(io.Closer); ok {
 		c.Close()
@@ -419,36 +485,48 @@ func (e *Engine) Drain(ctx context.Context) error {
 // against the cluster before entering the loop; the engine assigns the
 // returned ID. The caller must not mutate the job afterwards.
 func (e *Engine) Submit(job *workload.Job) (JobStatus, error) {
+	st, _, err := e.SubmitIdem(job, "")
+	return st, err
+}
+
+// SubmitIdem is Submit carrying a client idempotency key. A non-empty
+// key that matches a previous admission (including one recovered by
+// journal replay) returns the existing job's status with dup=true
+// instead of admitting a duplicate — the exactly-once contract behind
+// the router's retry-on-unhealthy-shard path.
+func (e *Engine) SubmitIdem(job *workload.Job, idemKey string) (JobStatus, bool, error) {
 	if job == nil {
-		return JobStatus{}, errors.New("engine: nil job")
+		return JobStatus{}, false, errors.New("engine: nil job")
 	}
 	if err := job.Validate(); err != nil {
-		return JobStatus{}, fmt.Errorf("engine: %w", err)
+		return JobStatus{}, false, fmt.Errorf("engine: %w", err)
 	}
 	n := e.cfg.Cluster.N()
 	for si, st := range job.Stages {
 		for ti, task := range st.Tasks {
 			if st.Kind == workload.MapStage && task.Src >= n {
-				return JobStatus{}, fmt.Errorf("engine: stage %d task %d references site %d beyond cluster (%d sites)", si, ti, task.Src, n)
+				return JobStatus{}, false, fmt.Errorf("engine: stage %d task %d references site %d beyond cluster (%d sites)", si, ti, task.Src, n)
 			}
 		}
 	}
 	var (
 		status JobStatus
+		dup    bool
 		serr   error
 	)
 	err := e.do(func() {
-		id, err2 := e.st.submit(job)
+		id, d, err2 := e.st.submit(job, idemKey)
 		if err2 != nil {
 			serr = err2
 			return
 		}
+		dup = d
 		status = e.st.snapshot(e.st.jobs[id], false)
 	})
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, err
 	}
-	return status, serr
+	return status, dup, serr
 }
 
 // Job returns one job's status snapshot.
@@ -556,6 +634,65 @@ func (e *Engine) Ready() (bool, string) {
 		return false, "draining"
 	}
 	return true, "ready"
+}
+
+// Probe is the supervisor's heartbeat: a round-trip through the event
+// loop bounded by timeout. It returns nil while the loop turns requests
+// around (journal replay counts as alive — the loop is busy doing
+// exactly what it should), ErrStopped after Close, and ErrProbeTimeout
+// when the loop is wedged past the deadline.
+func (e *Engine) Probe(timeout time.Duration) error {
+	if e.replaying.Load() {
+		return nil
+	}
+	done := make(chan struct{})
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case e.reqs <- func() { close(done) }:
+	case <-e.stopped:
+		return ErrStopped
+	case <-t.C:
+		return ErrProbeTimeout
+	}
+	select {
+	case <-done:
+		return nil
+	case <-e.stopped:
+		return ErrStopped
+	case <-t.C:
+		return ErrProbeTimeout
+	}
+}
+
+// PanicsRecovered returns how many panics the engine has contained
+// (event loop plus solve-pool workers). Safe without entering the loop.
+func (e *Engine) PanicsRecovered() int64 { return e.panics.Load() }
+
+// LoopStallMaxNs returns the worst event-loop occupancy observed, in
+// nanoseconds — the atomic mirror of engine.loop_stall_max_ns. Safe
+// without entering the loop, which is the point: the supervisor reads
+// it to judge a loop that may be too wedged to answer.
+func (e *Engine) LoopStallMaxNs() int64 { return e.stallMax.Load() }
+
+// InjectPanic asynchronously panics the event loop with msg — the chaos
+// hook behind the panic@T:site=S fault clause, applied by the
+// federation supervisor to a targeted shard. Containment recovers it,
+// counts engine.panics_recovered, and snapshots the journal; the
+// supervisor then restarts the shard from that consistent mirror.
+func (e *Engine) InjectPanic(msg string) {
+	e.inject(func() { panic(msg) })
+}
+
+// JournalGeneration returns the journal epoch this engine instance owns
+// (0 without a journal). The federation checks monotonicity across a
+// shard restart: a successor must carry a strictly larger generation
+// than the instance it replaced.
+func (e *Engine) JournalGeneration() int {
+	if j := e.cfg.Journal; j != nil {
+		return j.Generation()
+	}
+	return 0
 }
 
 // coldRetrySeconds is the Retry-After hint handed out while the 30s

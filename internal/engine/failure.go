@@ -21,6 +21,7 @@ package engine
 //     journal before the loop accepts traffic.
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -40,6 +41,21 @@ const drainRateWindow = 128
 
 // applyFault lands one injector timeline fault on the loop.
 func (s *state) applyFault(f fault.Fault) {
+	switch f.Kind {
+	case fault.PanicInject:
+		// Site >= 0 targets a federation shard — the supervisor applies
+		// those; an individual engine only honors an untargeted panic.
+		if f.Site >= 0 {
+			return
+		}
+		// The panic unwinds to the loop's runGuarded recover, exercising
+		// containment end to end.
+		panic(fmt.Sprintf("fault: injected panic at t=%.3fs", f.Time))
+	case fault.JournalCorrupt:
+		// Federation-level fault (the supervisor flips the byte in the
+		// target shard's journal file); engines ignore it.
+		return
+	}
 	if f.Site < 0 || f.Site >= s.n {
 		return
 	}
@@ -372,7 +388,16 @@ func (s *state) restore(rs *journal.State) {
 	if rs.NextID > s.nextID {
 		s.nextID = rs.NextID
 	}
+	if rs.Quarantined > 0 {
+		s.rec.Registry().Counter("journal.records_quarantined").Add(float64(rs.Quarantined))
+	}
 	for _, dj := range rs.Done {
+		if dj.IdemKey != "" {
+			// Completed work still dedups: a client retrying a key whose
+			// job finished in a previous life gets the done status, not a
+			// re-run.
+			s.idemKeys[dj.IdemKey] = dj.ID
+		}
 		// Completed jobs come back as terminal records only — visible in
 		// listings and the final report, never rescheduled.
 		js := &jobState{
@@ -390,6 +415,9 @@ func (s *state) restore(rs *journal.State) {
 		// Admitted-but-unfinished jobs re-run from scratch under their
 		// original IDs: placements are decisions, not completed work,
 		// and the cluster may differ across the restart.
+		if lj.IdemKey != "" {
+			s.idemKeys[lj.IdemKey] = lj.ID
+		}
 		s.admitRestored(lj)
 	}
 	s.rec.Registry().Counter("engine.jobs_restored").Add(float64(len(rs.Live)))

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tetrium/internal/cluster"
+	"tetrium/internal/fault"
+	"tetrium/internal/journal"
+)
+
+// TestPanicContained: a panic on the event loop is recovered, counted,
+// returned to the blocked caller as ErrPanicked, and the engine keeps
+// serving afterwards.
+func TestPanicContained(t *testing.T) {
+	e := mustEngine(t, testConfig(cluster.PaperExample()))
+
+	err := e.do(func() { panic("boom") })
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("do over panic = %v, want ErrPanicked", err)
+	}
+	if got := e.PanicsRecovered(); got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+	// The loop survived: normal traffic proceeds.
+	if _, err := e.Submit(oneStageJob(0, 2, 1)); err != nil {
+		t.Fatalf("Submit after contained panic: %v", err)
+	}
+	drainOK(t, e)
+	if err := e.Probe(5 * time.Second); err != nil {
+		t.Fatalf("Probe after contained panic: %v", err)
+	}
+	b, err := e.MetricsText()
+	if err != nil {
+		t.Fatalf("MetricsText: %v", err)
+	}
+	if !strings.Contains(string(b), "engine.panics_recovered") {
+		t.Errorf("engine.panics_recovered missing from metrics:\n%s", b)
+	}
+}
+
+// TestPanicInjectFault: the panic@T fault clause panics the loop at T
+// and containment turns it into a counted recovery, not a dead process.
+func TestPanicInjectFault(t *testing.T) {
+	in, err := fault.Parse("panic@10ms", 1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cfg := testConfig(cluster.PaperExample())
+	cfg.Faults = in
+	e := mustEngine(t, cfg)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for e.PanicsRecovered() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected panic never recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Submit(oneStageJob(0, 2, 1)); err != nil {
+		t.Fatalf("Submit after injected panic: %v", err)
+	}
+	drainOK(t, e)
+}
+
+// TestSolvePoolPanicContained: a panicking solve kills neither its
+// worker nor the engine; the panic is counted once the inject lands.
+func TestSolvePoolPanicContained(t *testing.T) {
+	e := mustEngine(t, testConfig(cluster.PaperExample()))
+	e.pool.submit(func() { panic("solve boom") })
+	deadline := time.Now().Add(10 * time.Second)
+	for e.PanicsRecovered() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve-pool panic never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The worker survived: real solves still run.
+	if _, err := e.Submit(oneStageJob(0, 2, 1)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	drainOK(t, e)
+}
+
+// TestSubmitIdemDedup: the same idempotency key admits once; the replay
+// returns the original ID with dup=true, across live dedup and journal
+// restore.
+func TestSubmitIdemDedup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eng.journal")
+	j, st, err := journal.Open(path, 1024)
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	cfg := testConfig(cluster.PaperExample())
+	cfg.Journal = j
+	cfg.Restore = st
+	e := mustEngine(t, cfg)
+
+	s1, dup, err := e.SubmitIdem(oneStageJob(0, 2, 1), "key-1")
+	if err != nil || dup {
+		t.Fatalf("first SubmitIdem = dup=%v err=%v", dup, err)
+	}
+	s2, dup, err := e.SubmitIdem(oneStageJob(0, 2, 1), "key-1")
+	if err != nil || !dup {
+		t.Fatalf("second SubmitIdem = dup=%v err=%v, want dup", dup, err)
+	}
+	if s2.ID != s1.ID {
+		t.Fatalf("dup returned ID %d, want %d", s2.ID, s1.ID)
+	}
+	if _, dup, _ := e.SubmitIdem(oneStageJob(0, 2, 1), "key-2"); dup {
+		t.Fatal("fresh key reported dup")
+	}
+	drainOK(t, e)
+	e.Close()
+
+	// Restart from the journal: keys must still dedup, including the
+	// completed jobs'.
+	j2, st2, err := journal.Open(path, 1024)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	cfg2 := testConfig(cluster.PaperExample())
+	cfg2.Journal = j2
+	cfg2.Restore = st2
+	e2 := mustEngine(t, cfg2)
+	s3, dup, err := e2.SubmitIdem(oneStageJob(0, 2, 1), "key-1")
+	if err != nil || !dup {
+		t.Fatalf("post-restart SubmitIdem = dup=%v err=%v, want dup", dup, err)
+	}
+	if s3.ID != s1.ID {
+		t.Fatalf("post-restart dup ID = %d, want %d", s3.ID, s1.ID)
+	}
+	if e2.JournalGeneration() <= e.JournalGeneration()-1 {
+		t.Fatalf("generation did not advance: %d then %d", e.JournalGeneration(), e2.JournalGeneration())
+	}
+}

@@ -18,6 +18,11 @@ type solvePool struct {
 	// submitted == executed + dropped once close returns.
 	submitted int
 	executed  int
+
+	// onPanic, when set, receives the recover() value of a solve that
+	// panicked; the worker survives. Set once before any submit (the
+	// engine constructor), so reads need no lock.
+	onPanic func(r any)
 }
 
 func newSolvePool(workers int) *solvePool {
@@ -45,8 +50,19 @@ func (p *solvePool) worker() {
 		p.queue = p.queue[1:]
 		p.executed++
 		p.mu.Unlock()
-		fn()
+		p.runOne(fn)
 	}
+}
+
+// runOne executes a solve with panic containment so one bad solve
+// cannot take a pool worker (and eventually the whole pool) down.
+func (p *solvePool) runOne(fn func()) {
+	defer func() {
+		if r := recover(); r != nil && p.onPanic != nil {
+			p.onPanic(r)
+		}
+	}()
+	fn()
 }
 
 // submit enqueues one solve; never blocks.

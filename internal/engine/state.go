@@ -208,6 +208,7 @@ type state struct {
 	order       []*jobState
 	activeCount int
 	nextID      int
+	idemKeys    map[string]int // client idempotency key → job ID (submit dedup)
 
 	draining  bool
 	drainDone []chan struct{}
@@ -284,6 +285,7 @@ func newState(e *Engine) *state {
 		upBW:             cl.UpBW(),
 		downBW:           cl.DownBW(),
 		jobs:             make(map[int]*jobState),
+		idemKeys:         make(map[string]int),
 		rec:              rec,
 		rng:              rand.New(rand.NewSource(1)), // jitter only; determinism beats entropy
 		runningStages:    make(map[*stageRun]struct{}),
@@ -308,9 +310,26 @@ func (s *state) noteLoopStall(d time.Duration) {
 	if ns > s.loopStallMaxNs {
 		s.loopStallMaxNs = ns
 		s.gLoopStall.Set(ns)
+		s.e.stallMax.Store(d.Nanoseconds())
 	}
 	if d >= loopStallFloor {
 		s.hLoopStall.Observe(ns)
+	}
+}
+
+// notePanic records one contained panic (engine.go runGuarded, solve
+// pool). State mid-panic may be inconsistent — that is the supervisor's
+// restart decision to make; here the damage is counted, traced, and the
+// journal's consistent mirror is snapshotted to disk so a restart
+// recovers the freshest durable state.
+func (s *state) notePanic(origin string, r any) {
+	s.e.panics.Add(1)
+	s.rec.Registry().Counter("engine.panics_recovered").Inc()
+	s.emit(obs.Fault{T: s.now(), Fault: "panic_recovered_" + origin})
+	if j := s.e.cfg.Journal; j != nil {
+		if err := j.Snapshot(); err != nil {
+			s.rec.Registry().Counter("engine.journal_errors").Inc()
+		}
 	}
 }
 
@@ -387,13 +406,21 @@ func (s *state) scheduleSoon() {
 
 // Admission ----------------------------------------------------------------
 
-func (s *state) submit(spec *workload.Job) (int, error) {
+func (s *state) submit(spec *workload.Job, idemKey string) (int, bool, error) {
+	if idemKey != "" {
+		// Dedup wins over every other admission gate: a replayed key is
+		// not new work, so it succeeds even while draining or full.
+		if id, ok := s.idemKeys[idemKey]; ok {
+			s.rec.Registry().Counter("engine.submit_deduped").Inc()
+			return id, true, nil
+		}
+	}
 	if s.draining {
-		return 0, ErrDraining
+		return 0, false, ErrDraining
 	}
 	if s.activeCount >= s.e.cfg.MaxPending {
 		s.rec.Registry().Counter("engine.rejected").Inc()
-		return 0, ErrQueueFull
+		return 0, false, ErrQueueFull
 	}
 	id := s.nextID
 	tenant := spec.Tenant
@@ -404,10 +431,13 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 		// The admission is durable before it is acknowledged: a journal
 		// write failure rejects the job rather than accepting work a
 		// restart would silently lose.
-		if err := j.Admit(id, time.Now().UnixMilli(), tenant, spec); err != nil {
+		if err := j.AdmitIdem(id, time.Now().UnixMilli(), tenant, idemKey, spec); err != nil {
 			s.rec.Registry().Counter("engine.journal_errors").Inc()
-			return 0, err
+			return 0, false, err
 		}
+	}
+	if idemKey != "" {
+		s.idemKeys[idemKey] = id
 	}
 	s.nextID++
 	js := &jobState{
@@ -443,7 +473,7 @@ func (s *state) submit(spec *workload.Job) (int, error) {
 		}
 	}
 	s.scheduleSoon()
-	return id, nil
+	return id, false, nil
 }
 
 // Scheduling instance (admit → order → place → dispatch) -------------------

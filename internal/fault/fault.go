@@ -30,6 +30,14 @@
 //	                              (seed, job, stage, task, attempt)
 //	stall:every=K,dur=D           every K-th LP solve stalls for D before
 //	                              returning (models a wedged solver)
+//	panic@T[:site=S]              panics on the engine event loop at T,
+//	                              exercising panic containment; site names
+//	                              a federation shard (omitted: the engine
+//	                              owning the injector)
+//	corrupt@T:rec=N[,shard=I]     flips a byte in record N (0-indexed) of
+//	                              shard I's journal at T; surfaces as a
+//	                              quarantined record on the next replay
+//	                              (federation-level; engines ignore it)
 //
 // T and D accept Go duration syntax ("1.5s", "300ms") or plain float
 // seconds. Example:
@@ -64,6 +72,15 @@ const (
 	// SolveStall marks an LP solve delayed by Dur seconds. Not part of
 	// Timeline — surfaced through Injector.SolveStall.
 	SolveStall
+	// PanicInject panics on the engine's event loop at Time, exercising
+	// panic containment. Site < 0 targets the engine that owns the
+	// injector; Site >= 0 names a federation shard (applied by the
+	// supervisor, ignored by individual engines).
+	PanicInject
+	// JournalCorrupt flips a byte in record Rec of shard Shard's journal
+	// at Time. Applied by the federation supervisor (engines ignore it);
+	// the damage surfaces as a quarantined record at the next replay.
+	JournalCorrupt
 )
 
 func (k Kind) String() string {
@@ -80,6 +97,10 @@ func (k Kind) String() string {
 		return "task_straggle"
 	case SolveStall:
 		return "solve_stall"
+	case PanicInject:
+		return "panic_inject"
+	case JournalCorrupt:
+		return "journal_corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -99,6 +120,9 @@ type Fault struct {
 	Factor float64
 	// Dur is the stall duration in seconds (SolveStall).
 	Dur float64
+	// Shard and Rec name the target journal record (JournalCorrupt).
+	Shard int
+	Rec   int
 }
 
 // Spec is a parsed fault specification, independent of any seed.
@@ -197,6 +221,44 @@ func (sp *Spec) parseClause(clause string) error {
 				return fmt.Errorf("bad x %q (want > 1)", x)
 			}
 		}
+	case "panic":
+		if !hasAt {
+			return fmt.Errorf("panic needs a @time")
+		}
+		t, err := parseSeconds(at)
+		if err != nil {
+			return fmt.Errorf("time: %w", err)
+		}
+		site := -1
+		if s, ok := kv["site"]; ok {
+			if site, err = strconv.Atoi(s); err != nil || site < 0 {
+				return fmt.Errorf("bad site %q", s)
+			}
+		}
+		sp.Events = append(sp.Events, Fault{Time: t, Kind: PanicInject, Site: site})
+	case "corrupt":
+		if !hasAt {
+			return fmt.Errorf("corrupt needs a @time")
+		}
+		t, err := parseSeconds(at)
+		if err != nil {
+			return fmt.Errorf("time: %w", err)
+		}
+		shard := 0
+		if s, ok := kv["shard"]; ok {
+			if shard, err = strconv.Atoi(s); err != nil || shard < 0 {
+				return fmt.Errorf("bad shard %q", s)
+			}
+		}
+		r, ok := kv["rec"]
+		if !ok {
+			return fmt.Errorf("corrupt needs rec=")
+		}
+		rec, err := strconv.Atoi(r)
+		if err != nil || rec < 0 {
+			return fmt.Errorf("bad rec %q", r)
+		}
+		sp.Events = append(sp.Events, Fault{Time: t, Kind: JournalCorrupt, Shard: shard, Rec: rec})
 	case "stall":
 		every, ok := kv["every"]
 		if !ok {

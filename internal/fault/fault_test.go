@@ -167,3 +167,64 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePanicClause(t *testing.T) {
+	sp, err := ParseSpec("panic@1.5s;panic@2s:site=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(sp.Events) != 2 {
+		t.Fatalf("Events = %+v, want 2", sp.Events)
+	}
+	if f := sp.Events[0]; f.Kind != PanicInject || f.Time != 1.5 || f.Site != -1 {
+		t.Errorf("untargeted panic = %+v, want t=1.5 site=-1", f)
+	}
+	if f := sp.Events[1]; f.Kind != PanicInject || f.Time != 2 || f.Site != 1 {
+		t.Errorf("targeted panic = %+v, want t=2 site=1", f)
+	}
+	in := New(sp, 0)
+	if !in.Enabled() {
+		t.Error("panic spec injector not Enabled")
+	}
+}
+
+func TestParseCorruptClause(t *testing.T) {
+	sp, err := ParseSpec("corrupt@3s:shard=1,rec=7;corrupt@4s:rec=0")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(sp.Events) != 2 {
+		t.Fatalf("Events = %+v, want 2", sp.Events)
+	}
+	if f := sp.Events[0]; f.Kind != JournalCorrupt || f.Time != 3 || f.Shard != 1 || f.Rec != 7 {
+		t.Errorf("corrupt = %+v, want t=3 shard=1 rec=7", f)
+	}
+	if f := sp.Events[1]; f.Kind != JournalCorrupt || f.Shard != 0 || f.Rec != 0 {
+		t.Errorf("default-shard corrupt = %+v, want shard=0 rec=0", f)
+	}
+}
+
+func TestParsePanicCorruptErrors(t *testing.T) {
+	for _, bad := range []string{
+		"panic",                     // missing @time
+		"panic@xyz",                 // bad time
+		"panic@1s:site=-2",          // bad site
+		"corrupt:rec=1",             // missing @time
+		"corrupt@1s",                // missing rec
+		"corrupt@1s:rec=-1",         // bad rec
+		"corrupt@1s:shard=-1,rec=0", // bad shard
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	if got := PanicInject.String(); got != "panic_inject" {
+		t.Errorf("PanicInject.String() = %q", got)
+	}
+	if got := JournalCorrupt.String(); got != "journal_corrupt" {
+		t.Errorf("JournalCorrupt.String() = %q", got)
+	}
+}

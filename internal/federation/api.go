@@ -38,9 +38,18 @@ func Handler(f *Federation) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := f.Submit(job)
+		// An Idempotency-Key makes retrying this POST safe: replays of an
+		// already-admitted key return the original job (200 with
+		// Tetrium-Idempotent-Replay: true) instead of admitting a twin,
+		// across router restarts and shard crash-recovery.
+		st, dup, err := f.SubmitIdem(job, r.Header.Get("Idempotency-Key"))
 		if err != nil {
 			writeFedErr(f, w, err)
+			return
+		}
+		if dup {
+			w.Header().Set("Tetrium-Idempotent-Replay", "true")
+			writeJSON(w, http.StatusOK, api.WireJob(st))
 			return
 		}
 		writeJSON(w, http.StatusAccepted, api.WireJob(st))
@@ -217,21 +226,37 @@ type ShardStatus struct {
 	ActiveJobs int    `json:"active_jobs"`
 	MaxPending int    `json:"max_pending"`
 	RetryAfter int    `json:"retry_after_s"`
+	// Health is the supervisor's verdict (healthy/suspect/down/
+	// restarting/parked); absent without supervision.
+	Health string `json:"health,omitempty"`
+	// HealthReason explains any non-healthy state.
+	HealthReason string `json:"health_reason,omitempty"`
+	// Generation is the shard's current journal epoch (journaled
+	// deployments only).
+	Generation int `json:"generation,omitempty"`
+	// PanicsRecovered counts panics this shard instance contained.
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 }
 
 // FederationStatus is the GET /v1/federation response.
 type FederationStatus struct {
-	Shards   int           `json:"shards"`
-	ShardMap string        `json:"shard_map"`
-	Journal  bool          `json:"journaled"`
-	Members  []ShardStatus `json:"members"`
+	Shards       int           `json:"shards"`
+	ShardMap     string        `json:"shard_map"`
+	Journal      bool          `json:"journaled"`
+	Supervised   bool          `json:"supervised"`
+	AutoRestarts int64         `json:"auto_restarts,omitempty"`
+	Members      []ShardStatus `json:"members"`
 }
 
 func federationStatus(f *Federation) FederationStatus {
 	out := FederationStatus{
-		Shards:   f.NumShards(),
-		ShardMap: f.ShardMapName(),
-		Journal:  f.cfg.JournalPath != "",
+		Shards:     f.NumShards(),
+		ShardMap:   f.ShardMapName(),
+		Journal:    f.cfg.JournalPath != "",
+		Supervised: f.sv != nil,
+	}
+	if f.sv != nil {
+		out.AutoRestarts = f.sv.autoRestarts.Load()
 	}
 	for i := 0; i < f.NumShards(); i++ {
 		e := f.Shard(i)
@@ -248,6 +273,16 @@ func federationStatus(f *Federation) FederationStatus {
 			ss.Reason = "stopped"
 		}
 		ss.RetryAfter = e.RetryAfter()
+		ss.Generation = e.JournalGeneration()
+		ss.PanicsRecovered = e.PanicsRecovered()
+		if f.sv != nil {
+			st, why, _ := f.sv.statusOf(i)
+			ss.Health = st.String()
+			ss.HealthReason = why
+			if st != Healthy {
+				ss.Ready = st == Suspect && ss.Ready
+			}
+		}
 		out.Members = append(out.Members, ss)
 	}
 	return out
@@ -264,14 +299,21 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // writeFedErr maps federation/engine sentinels to HTTP semantics:
-// all-shards-full is 429 with the max-of-shards Retry-After hint,
-// unavailable fleets 503, unknown IDs 404, anything else 400.
+// all-shards-full is 429 with the max-of-shards Retry-After hint;
+// unavailable fleets 503 with — under supervision — an honest
+// Retry-After derived from the shortest scheduled restart-backoff
+// deadline (no header when nothing is scheduled, e.g. every unhealthy
+// shard is breaker-parked); unknown IDs 404; anything else 400.
 func writeFedErr(f *Federation, w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(f.RetryAfter()))
 		writeErr(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, engine.ErrDraining), errors.Is(err, engine.ErrStopped), errors.Is(err, ErrNoShards):
+	case errors.Is(err, engine.ErrDraining), errors.Is(err, engine.ErrStopped),
+		errors.Is(err, engine.ErrPanicked), errors.Is(err, ErrNoShards):
+		if secs, ok := f.UnhealthyRetryAfter(); ok {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, engine.ErrNotFound):
 		writeErr(w, http.StatusNotFound, err)

@@ -38,9 +38,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tetrium/internal/cluster"
 	"tetrium/internal/engine"
+	"tetrium/internal/fault"
 	"tetrium/internal/journal"
 	"tetrium/internal/obs"
 	"tetrium/internal/workload"
@@ -82,6 +84,19 @@ type Config struct {
 	// SnapshotEvery bounds per-shard journal growth (<= 0: journal
 	// default).
 	SnapshotEvery int
+	// Supervise enables the self-healing supervisor: heartbeat probes
+	// over every shard, automatic backed-off restarts of wedged/panicked
+	// shards through the journal-replay path, and a circuit breaker that
+	// parks flapping shards.
+	Supervise bool
+	// Supervisor tunes the supervisor; zero values pick defaults. Only
+	// read when Supervise is set.
+	Supervisor SupervisorConfig
+	// Faults, when non-nil, arms the federation-level chaos timeline:
+	// panic@T:site=S targets shard S's event loop, corrupt@T:shard=I,rec=N
+	// flips a byte in shard I's journal. Engine-level clauses should go
+	// to the Member configs, not here.
+	Faults *fault.Injector
 }
 
 // Federation is a router over N engine shards. All methods are safe
@@ -91,14 +106,47 @@ type Federation struct {
 	n    int
 	smap ShardMap
 
-	seq       atomic.Uint64 // submission sequence (ShardMap hash input)
-	submitted atomic.Int64  // accepted submissions
-	spilled   atomic.Int64  // accepted by a non-preferred shard
-	rejected  atomic.Int64  // rejected by every shard
-	restarts  atomic.Int64  // RestartShard invocations
+	seq         atomic.Uint64 // submission sequence (ShardMap hash input)
+	submitted   atomic.Int64  // accepted submissions
+	spilled     atomic.Int64  // accepted by a non-preferred shard
+	rejected    atomic.Int64  // rejected by every shard
+	restarts    atomic.Int64  // shard restarts (manual and supervised)
+	deduped     atomic.Int64  // submissions answered by idempotency replay
+	corruptions atomic.Int64  // chaos-injected journal corruptions
 
 	mu     sync.RWMutex
 	shards []*engine.Engine
+
+	// restartLocks serialize restartShard per shard: an operator restart
+	// racing a supervisor restart must not both swap (the loser would
+	// leak a running engine).
+	restartLocks []sync.Mutex
+
+	sv          *supervisor   // nil unless Config.Supervise
+	chaosTimers []*time.Timer // armed federation-level fault timeline
+
+	// idem maps Idempotency-Key → reservation. An entry is inserted
+	// before the submit reaches any shard, so two concurrent retries of
+	// the same key cannot both admit: the loser waits on done and
+	// replays the winner's job. Entries for durable shards are rebuilt
+	// from journal replay on every (re)start, making the dedup hold
+	// across shard crashes.
+	idemMu sync.Mutex
+	idem   map[string]*idemEntry
+}
+
+// idemEntry resolves one idempotency key to a global job ID. done is
+// closed once global (or err) is valid.
+type idemEntry struct {
+	done   chan struct{}
+	global int
+	err    error
+}
+
+func resolvedEntry(global int) *idemEntry {
+	e := &idemEntry{done: make(chan struct{}), global: global}
+	close(e.done)
+	return e
 }
 
 // New starts every shard engine. On error, shards already started are
@@ -117,11 +165,12 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: cluster has %d slots for %d shards; every shard needs at least one",
 			cfg.Cluster.TotalSlots(), cfg.Shards)
 	}
-	f := &Federation{cfg: cfg, n: cfg.Shards, smap: cfg.ShardMap}
+	f := &Federation{cfg: cfg, n: cfg.Shards, smap: cfg.ShardMap, idem: make(map[string]*idemEntry)}
 	if f.smap == nil {
 		f.smap = HashShards{N: cfg.Shards}
 	}
 	f.shards = make([]*engine.Engine, cfg.Shards)
+	f.restartLocks = make([]sync.Mutex, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		eng, err := f.startShard(i)
 		if err != nil {
@@ -131,6 +180,10 @@ func New(cfg Config) (*Federation, error) {
 			return nil, err
 		}
 		f.shards[i] = eng
+	}
+	f.armChaos(cfg.Faults)
+	if cfg.Supervise {
+		f.sv = newSupervisor(f, cfg.Supervisor)
 	}
 	return f, nil
 }
@@ -150,6 +203,7 @@ func (f *Federation) startShard(i int) (*engine.Engine, error) {
 			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
 		}
 		cfg.Journal, cfg.Restore = jnl, restore
+		f.recordRestoredIdem(i, restore)
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
@@ -208,6 +262,15 @@ func (f *Federation) globalize(st engine.JobStatus, shard int) engine.JobStatus 
 // everywhere yields an error unwrapping to engine.ErrQueueFull (pair
 // it with RetryAfter for the 429 hint).
 func (f *Federation) Submit(job *workload.Job) (engine.JobStatus, error) {
+	st, _, err := f.routeSubmit(job, "")
+	return st, err
+}
+
+// routeSubmit is the shard spill loop shared by Submit and SubmitIdem.
+// The dup flag reports a shard-level idempotency replay (the key was
+// already admitted there, typically found via journal replay after a
+// restart).
+func (f *Federation) routeSubmit(job *workload.Job, idemKey string) (engine.JobStatus, bool, error) {
 	seq := f.seq.Add(1)
 	pref := f.smap.Route(job, seq)
 	if pref < 0 || pref >= f.n {
@@ -218,33 +281,132 @@ func (f *Federation) Submit(job *workload.Job) (engine.JobStatus, error) {
 	var lastErr error
 	for k := 0; k < f.n; k++ {
 		idx := (pref + k) % f.n
-		st, err := shards[idx].Submit(job)
+		st, dup, err := shards[idx].SubmitIdem(job, idemKey)
 		switch {
 		case err == nil:
-			f.submitted.Add(1)
-			if k > 0 {
-				f.spilled.Add(1)
+			if !dup {
+				f.submitted.Add(1)
+				if k > 0 {
+					f.spilled.Add(1)
+				}
 			}
-			return f.globalize(st, idx), nil
+			return f.globalize(st, idx), dup, nil
 		case errors.Is(err, engine.ErrQueueFull):
 			full++
 			lastErr = err
-		case errors.Is(err, engine.ErrStopped), errors.Is(err, engine.ErrDraining):
-			// A shard mid-restart or draining is not a fleet rejection;
-			// spill onward and only fail if nobody else admits.
+		case errors.Is(err, engine.ErrStopped), errors.Is(err, engine.ErrPanicked):
+			// A stopped shard (mid-restart) or one whose loop just
+			// recovered a panic is not a fleet rejection; spill onward,
+			// tell the supervisor so detection beats the next heartbeat,
+			// and only fail if nobody else admits.
+			unavailable++
+			lastErr = err
+			if f.sv != nil {
+				f.sv.noteSubmitError(idx, err)
+			}
+		case errors.Is(err, engine.ErrDraining):
+			// Draining is intentional, not ill health.
 			unavailable++
 			lastErr = err
 		default:
 			// Validation errors are spec properties: every shard would
 			// answer the same, so fail fast.
-			return engine.JobStatus{}, err
+			return engine.JobStatus{}, false, err
 		}
 	}
 	f.rejected.Add(1)
 	if full > 0 {
-		return engine.JobStatus{}, fullError{shards: f.n}
+		return engine.JobStatus{}, false, fullError{shards: f.n}
 	}
-	return engine.JobStatus{}, lastErr
+	return engine.JobStatus{}, false, lastErr
+}
+
+// SubmitIdem is Submit with exactly-once semantics under retries: two
+// submissions carrying the same non-empty key admit one job, and the
+// second (whether concurrent, later, or after a shard crash-restart)
+// gets the original's status back with dup=true. The guarantee is
+// durable when shards are journaled — keys replay with the journal —
+// and router-local otherwise.
+func (f *Federation) SubmitIdem(job *workload.Job, key string) (engine.JobStatus, bool, error) {
+	if key == "" {
+		st, err := f.Submit(job)
+		return st, false, err
+	}
+	for {
+		f.idemMu.Lock()
+		if e, ok := f.idem[key]; ok {
+			f.idemMu.Unlock()
+			<-e.done
+			if e.err != nil {
+				// The reserving attempt failed; this retry races for the
+				// (now deleted) reservation.
+				continue
+			}
+			st, err := f.Job(e.global)
+			if errors.Is(err, engine.ErrNotFound) {
+				// The admission evaporated: an unjournaled shard restarted,
+				// or the admit record was quarantined as corrupt. The job
+				// never ran to completion under that ID — re-admit it.
+				f.dropIdem(key, e)
+				continue
+			}
+			if err != nil {
+				// Owning shard mid-restart; the caller retries and will be
+				// answered from the replayed journal.
+				return engine.JobStatus{}, false, err
+			}
+			f.deduped.Add(1)
+			return st, true, nil
+		}
+		e := &idemEntry{done: make(chan struct{}), global: -1}
+		f.idem[key] = e
+		f.idemMu.Unlock()
+
+		st, dup, err := f.routeSubmit(job, key)
+		if err != nil {
+			e.err = err
+			f.dropIdem(key, e)
+			close(e.done)
+			return engine.JobStatus{}, false, err
+		}
+		e.global = st.ID
+		close(e.done)
+		if dup {
+			f.deduped.Add(1)
+		}
+		return st, dup, nil
+	}
+}
+
+// dropIdem removes key's reservation iff it still points at e (a
+// replacement reservation must not be clobbered).
+func (f *Federation) dropIdem(key string, e *idemEntry) {
+	f.idemMu.Lock()
+	if f.idem[key] == e {
+		delete(f.idem, key)
+	}
+	f.idemMu.Unlock()
+}
+
+// recordRestoredIdem seeds the router's dedup map from one shard's
+// journal replay, so retried keys keep resolving to their original jobs
+// across shard (or whole-process) restarts.
+func (f *Federation) recordRestoredIdem(shard int, st *journal.State) {
+	if st == nil {
+		return
+	}
+	f.idemMu.Lock()
+	defer f.idemMu.Unlock()
+	for _, lj := range st.Live {
+		if lj.IdemKey != "" {
+			f.idem[lj.IdemKey] = resolvedEntry(f.GlobalID(shard, lj.ID))
+		}
+	}
+	for _, dj := range st.Done {
+		if dj.IdemKey != "" {
+			f.idem[dj.IdemKey] = resolvedEntry(f.GlobalID(shard, dj.ID))
+		}
+	}
 }
 
 // Job returns one job's globalized status.
@@ -417,6 +579,19 @@ func (f *Federation) MetricsRegistry() (*obs.Registry, error) {
 	merged.Counter("federation.spilled").Add(float64(f.spilled.Load()))
 	merged.Counter("federation.rejected").Add(float64(f.rejected.Load()))
 	merged.Counter("federation.shard_restarts").Add(float64(f.restarts.Load()))
+	merged.Counter("federation.submit_deduped").Add(float64(f.deduped.Load()))
+	if c := f.corruptions.Load(); c > 0 {
+		merged.Counter("federation.journal_corruptions_injected").Add(float64(c))
+	}
+	if f.sv != nil {
+		counts := f.sv.counts()
+		for _, s := range healthStates {
+			merged.Gauge("federation.shard_health." + s.String()).Set(float64(counts[s]))
+		}
+		merged.Counter("federation.auto_restarts").Add(float64(f.sv.autoRestarts.Load()))
+		merged.Gauge("federation.breaker_open").Set(float64(f.sv.parked.Load()))
+		merged.Counter("federation.panics_healed").Add(float64(f.sv.panicsHealed.Load()))
+	}
 	return merged, nil
 }
 
@@ -428,6 +603,23 @@ func (f *Federation) Ready() (bool, string) {
 	ready := 0
 	reason := ""
 	for i, e := range f.engines() {
+		// The supervisor's verdict outranks the engine's own: a parked or
+		// down shard is out of rotation even if its loop still answers.
+		if f.sv != nil {
+			if st, why, next := f.sv.statusOf(i); st == Down || st == Restarting || st == Parked {
+				r := fmt.Sprintf("%s (%s)", st, why)
+				if st == Down {
+					if wait := time.Until(next); wait > 0 {
+						r = fmt.Sprintf("%s (%s; restart in %s)", st, why, wait.Round(time.Millisecond))
+					}
+				}
+				if reason != "" {
+					reason += "; "
+				}
+				reason += fmt.Sprintf("shard %d: %s", i, r)
+				continue
+			}
+		}
 		ok, r := e.Ready()
 		if ok {
 			ready++
@@ -470,6 +662,26 @@ func (f *Federation) RetryAfter() int {
 		}
 	}
 	return max
+}
+
+// UnhealthyRetryAfter is the honest backoff hint for 503s issued while
+// shards are down: the shortest time (ceiling seconds, >= 1) until a
+// down/restarting shard is due back under the supervisor's current
+// backoff schedule. ok is false without a supervisor or when no restart
+// is scheduled (e.g. every unhealthy shard is parked by the breaker).
+func (f *Federation) UnhealthyRetryAfter() (secs int, ok bool) {
+	if f.sv == nil {
+		return 0, false
+	}
+	d, ok := f.sv.minRestartWait(time.Now())
+	if !ok {
+		return 0, false
+	}
+	secs = int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs, true
 }
 
 // ShardEvent is one shard engine's event in the merged debug stream.
@@ -546,8 +758,15 @@ func (f *Federation) Drain(ctx context.Context) error {
 	return first
 }
 
-// Close stops every shard. Idempotent per shard (engine.Close is).
+// Close stops the supervisor and chaos timers, then every shard.
+// Idempotent (engine.Close is; the supervisor stops once).
 func (f *Federation) Close() {
+	if f.sv != nil {
+		f.sv.stop() // waits out in-flight restarts so no engine leaks
+	}
+	for _, tm := range f.chaosTimers {
+		tm.Stop()
+	}
 	for _, e := range f.engines() {
 		e.Close()
 	}
@@ -561,15 +780,44 @@ func (f *Federation) Close() {
 // other shards throughout; completed jobs stay completed and live jobs
 // re-run under their original IDs, so every admitted job still
 // completes exactly once across the federation.
+// An operator restart also resets the shard's supervisor history
+// (backoff, flap window, breaker), bringing a parked shard back into
+// rotation.
 func (f *Federation) RestartShard(i int) error {
+	if err := f.restartShard(i); err != nil {
+		return err
+	}
+	if f.sv != nil {
+		f.sv.unpark(i)
+	}
+	return nil
+}
+
+// restartShard is the swap itself, shared by operator restarts and the
+// supervisor (which must keep its own backoff/breaker history, so no
+// unpark here).
+func (f *Federation) restartShard(i int) error {
 	if i < 0 || i >= f.n {
 		return fmt.Errorf("federation: shard %d out of range [0,%d)", i, f.n)
 	}
-	f.Shard(i).Close()
+	f.restartLocks[i].Lock()
+	defer f.restartLocks[i].Unlock()
+	old := f.Shard(i)
+	oldGen := old.JournalGeneration()
+	old.Close()
 	f.restarts.Add(1)
 	eng, err := f.startShard(i)
 	if err != nil {
 		return err
+	}
+	// Generation fence: the replacement's journal epoch must strictly
+	// supersede the old engine's, proving its fsync'd gen record landed
+	// and the replay saw the full history. A half-restored shard (stale
+	// epoch) never enters rotation, so it can never double-ack.
+	if f.cfg.JournalPath != "" && eng.JournalGeneration() <= oldGen {
+		eng.Close()
+		return fmt.Errorf("federation: shard %d: journal generation %d did not supersede %d; refusing half-restored shard",
+			i, eng.JournalGeneration(), oldGen)
 	}
 	f.mu.Lock()
 	f.shards[i] = eng

@@ -15,8 +15,10 @@ import (
 // TestRouterHammer drives every router surface concurrently — meant for
 // the race detector: parallel submitters, §4.2 cluster updates, metrics
 // scrapes, merged event polls, job listings, and a shard kill/restore
-// in the middle. Afterwards every accepted job must be listed exactly
-// once and completed.
+// in the middle — with the self-healing supervisor probing and (if the
+// manual restart window trips it) restarting shards underneath it all.
+// Afterwards every accepted job must be listed exactly once and
+// completed.
 func TestRouterHammer(t *testing.T) {
 	jpath := filepath.Join(t.TempDir(), "journal")
 	f := mustFed(t, Config{
@@ -24,6 +26,12 @@ func TestRouterHammer(t *testing.T) {
 		Cluster:     cluster.EC2EightRegions(),
 		Member:      testMember(0, 0),
 		JournalPath: jpath,
+		Supervise:   true,
+		Supervisor: SupervisorConfig{
+			ProbeInterval: 10 * time.Millisecond,
+			ProbeTimeout:  5 * time.Second,
+			BackoffBase:   10 * time.Millisecond,
+		},
 	})
 
 	const (

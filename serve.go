@@ -101,6 +101,15 @@ type EngineOptions struct {
 	// return, instead of blocking on every re-solve.
 	ReplaceAsync bool
 
+	// Supervise (federation only) turns on the self-healing supervisor:
+	// per-shard heartbeat probes, automatic jittered-backoff restarts of
+	// wedged/panicked/stopped shards through journal replay, and a
+	// circuit breaker that parks flapping shards.
+	Supervise bool
+	// RestartBackoff is the supervisor's first restart delay (doubles
+	// per consecutive failure up to 30s); 0 means the default 200ms.
+	RestartBackoff time.Duration
+
 	// Analytics enables the fleet-analytics store: every emitted event
 	// feeds an in-memory per-tenant columnar store served under
 	// /v1/analytics. Disabled, the event path does no extra work.
@@ -287,14 +296,31 @@ func NewFederation(o EngineOptions, shards int, shardBy string) (*Federation, er
 		}
 		return cfg, nil
 	}
-	return federation.New(federation.Config{
+	fcfg := federation.Config{
 		Shards:        shards,
 		Cluster:       o.Cluster,
 		ShardMap:      smap,
 		Member:        member,
 		JournalPath:   o.JournalPath,
 		SnapshotEvery: o.SnapshotEvery,
-	})
+		Supervise:     o.Supervise,
+		Supervisor: federation.SupervisorConfig{
+			Enabled:     o.Supervise,
+			BackoffBase: o.RestartBackoff,
+		},
+	}
+	if o.FaultSpec != "" {
+		// The same spec is armed once at the federation level for its
+		// fleet-scoped clauses (panic@T:site=S, corrupt@T:shard=I,rec=N);
+		// the per-shard injectors above skip those, and this one skips
+		// the engine-scoped clauses, so nothing fires twice.
+		inj, err := fault.Parse(o.FaultSpec, o.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		fcfg.Faults = inj
+	}
+	return federation.New(fcfg)
 }
 
 // FederationHandler serves a Federation over HTTP/JSON with the same
